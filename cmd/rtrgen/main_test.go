@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestBuiltin(t *testing.T) {
+	known := []struct {
+		name  string
+		tasks int
+	}{
+		{"jpeg", 4}, {"mpeg1", 5}, {"hough", 6},
+		{"fig2tg1", 3}, {"fig2tg2", 2}, {"fig3tg1", 3}, {"fig3tg2", 4},
+	}
+	for _, k := range known {
+		g, err := builtin(k.name)
+		if err != nil {
+			t.Errorf("builtin(%q): %v", k.name, err)
+			continue
+		}
+		if g.NumTasks() != k.tasks {
+			t.Errorf("builtin(%q) has %d tasks, want %d", k.name, g.NumTasks(), k.tasks)
+		}
+	}
+	if _, err := builtin(""); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := builtin("unknown"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}

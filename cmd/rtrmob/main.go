@@ -1,0 +1,90 @@
+// Command rtrmob runs the design-time phase of the paper's technique: it
+// computes the mobility table of a task graph (Fig. 6) for a given system
+// configuration.
+//
+//	rtrmob -graph fig3tg2            # the paper's Fig. 7 example
+//	rtrmob -graph hough -rus 6
+//	rtrmob -json mygraph.json -rus 4 -latency 2.5
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/mobility"
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		name    = flag.String("graph", "", "built-in graph: jpeg, mpeg1, hough, fig2tg1, fig2tg2, fig3tg1, fig3tg2")
+		jsonIn  = flag.String("json", "", "path of a JSON graph definition (see taskgraph schema)")
+		rus     = flag.Int("rus", 4, "number of reconfigurable units")
+		latency = flag.Float64("latency", 4, "reconfiguration latency in ms")
+		dot     = flag.Bool("dot", false, "also print the graph in Graphviz dot syntax")
+		asJSON  = flag.Bool("o-json", false, "emit the mobility table as JSON (the deployable design-time artefact)")
+	)
+	flag.Parse()
+
+	g, err := loadGraph(*name, *jsonIn)
+	if err != nil {
+		fatal(err)
+	}
+	tab, err := mobility.Compute(g, *rus, simtime.FromMs(*latency))
+	if err != nil {
+		fatal(err)
+	}
+	if *asJSON {
+		data, err := json.MarshalIndent(tab, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(string(data))
+		return
+	}
+	fmt.Println(tab)
+	fmt.Printf("critical path %v, width %d, %d schedules simulated\n",
+		g.CriticalPath(), g.Width(), tab.Schedules)
+	if *dot {
+		fmt.Print(g.DOT())
+	}
+}
+
+func loadGraph(name, jsonPath string) (*taskgraph.Graph, error) {
+	if jsonPath != "" {
+		data, err := os.ReadFile(jsonPath)
+		if err != nil {
+			return nil, err
+		}
+		return taskgraph.FromJSON(data)
+	}
+	switch name {
+	case "jpeg":
+		return workload.JPEG(), nil
+	case "mpeg1":
+		return workload.MPEG1(), nil
+	case "hough":
+		return workload.Hough(), nil
+	case "fig2tg1":
+		return workload.Fig2TG1(), nil
+	case "fig2tg2":
+		return workload.Fig2TG2(), nil
+	case "fig3tg1":
+		return workload.Fig3TG1(), nil
+	case "fig3tg2":
+		return workload.Fig3TG2(), nil
+	case "":
+		return nil, fmt.Errorf("need -graph or -json")
+	default:
+		return nil, fmt.Errorf("unknown graph %q", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtrmob:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,100 @@
+// Command rtrrepro regenerates every table and figure of the paper's
+// evaluation. With no flags it runs the complete suite with the paper's
+// parameters (500 applications, 4–10 reconfigurable units, 4 ms latency).
+//
+//	rtrrepro                  # full suite
+//	rtrrepro -only fig9a      # one experiment
+//	rtrrepro -only fig2,fig3  # a subset
+//	rtrrepro -apps 100 -seed 7 -rus 3-8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/experiments"
+	"repro/internal/simtime"
+)
+
+func main() {
+	var (
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs(), ", "))
+		seed    = flag.Int64("seed", 2011, "workload generation seed")
+		apps    = flag.Int("apps", 500, "number of applications in the Fig. 9 workload")
+		rus     = flag.String("rus", "4-10", "reconfigurable-unit sweep, e.g. \"4-10\" or \"3,4,6\"")
+		latency = flag.Float64("latency", 4, "reconfiguration latency in ms")
+		csv     = flag.Bool("csv", false, "also emit CSV after each figure table")
+	)
+	flag.Parse()
+
+	sweep, err := parseRUs(*rus)
+	if err != nil {
+		fatal(err)
+	}
+	opt := experiments.Options{
+		Seed:    *seed,
+		Apps:    *apps,
+		RUs:     sweep,
+		Latency: simtime.FromMs(*latency),
+		CSV:     *csv,
+	}
+
+	var selected []experiments.Experiment
+	if *only == "" {
+		selected = experiments.All()
+	} else {
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			e, ok := experiments.ByID(id)
+			if !ok {
+				fatal(fmt.Errorf("unknown experiment %q; known: %s", id, strings.Join(experiments.IDs(), ", ")))
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	fmt.Printf("reproduction suite: seed %d, %d apps, RUs %v, latency %v\n",
+		opt.Seed, opt.Apps, opt.RUs, opt.Latency)
+	for _, e := range selected {
+		if err := e.Run(opt, os.Stdout); err != nil {
+			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+	}
+}
+
+// parseRUs accepts "4-10" ranges and "3,4,6" lists.
+func parseRUs(s string) ([]int, error) {
+	s = strings.TrimSpace(s)
+	if from, to, ok := strings.Cut(s, "-"); ok {
+		lo, err1 := strconv.Atoi(strings.TrimSpace(from))
+		hi, err2 := strconv.Atoi(strings.TrimSpace(to))
+		if err1 != nil || err2 != nil || lo < 1 || hi < lo {
+			return nil, fmt.Errorf("bad RU range %q", s)
+		}
+		var out []int
+		for r := lo; r <= hi; r++ {
+			out = append(out, r)
+		}
+		return out, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		r, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || r < 1 {
+			return nil, fmt.Errorf("bad RU count %q", part)
+		}
+		out = append(out, r)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty RU list %q", s)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtrrepro:", err)
+	os.Exit(1)
+}

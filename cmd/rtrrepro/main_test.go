@@ -1,0 +1,43 @@
+package main
+
+import "testing"
+
+func TestParseRUs(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"4-10", []int{4, 5, 6, 7, 8, 9, 10}, false},
+		{"3-3", []int{3}, false},
+		{" 4 - 6 ", []int{4, 5, 6}, false},
+		{"3,5,9", []int{3, 5, 9}, false},
+		{"7", []int{7}, false},
+		{"10-4", nil, true},
+		{"0-3", nil, true},
+		{"a-b", nil, true},
+		{"4,x", nil, true},
+		{"", nil, true},
+		{"-2", nil, true},
+	}
+	for _, tt := range cases {
+		got, err := parseRUs(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("parseRUs(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("parseRUs(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("parseRUs(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}

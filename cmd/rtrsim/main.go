@@ -1,0 +1,125 @@
+// Command rtrsim simulates a reconfigurable multitasking system executing
+// a workload under a chosen replacement policy and reports the paper's
+// metrics (reuse rate, reconfiguration overhead, remaining-overhead
+// percentage), optionally with a schedule view.
+//
+//	rtrsim -workload fig2 -policy lfd -gantt
+//	rtrsim -workload multimedia -apps 200 -policy locallfd:2 -skip -rus 4
+//	rtrsim -workload fig3 -policy locallfd:1 -skip -gantt
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/dynlist"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		wl       = flag.String("workload", "multimedia", "workload: fig2, fig3, or multimedia")
+		apps     = flag.Int("apps", 500, "sequence length for the multimedia workload")
+		seed     = flag.Int64("seed", 2011, "sequence seed for the multimedia workload")
+		pol      = flag.String("policy", "locallfd:1", "replacement policy (lru, mru, fifo, random[:seed], lfd, locallfd:<w>)")
+		rus      = flag.Int("rus", 4, "number of reconfigurable units")
+		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
+		skip     = flag.Bool("skip", false, "enable skip events (hybrid design-time/run-time technique)")
+		prefetch = flag.Bool("prefetch", false, "enable the cross-graph prefetch extension")
+		gantt    = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		tick     = flag.Float64("tick", 0, "Gantt: ms per column (0 = auto)")
+		svgOut   = flag.String("svg", "", "write the schedule as SVG to this file")
+		traceOut = flag.String("trace", "", "write the execution trace as JSON to this file")
+	)
+	flag.Parse()
+
+	seq, err := buildWorkload(*wl, *apps, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	needTrace := *gantt || *svgOut != "" || *traceOut != ""
+	res, err := core.Evaluate(core.Config{
+		RUs:                *rus,
+		Latency:            simtime.FromMs(*latency),
+		Policy:             *pol,
+		SkipEvents:         *skip,
+		CrossGraphPrefetch: *prefetch,
+		RecordTrace:        needTrace,
+	}, seq...)
+	if err != nil {
+		fatal(err)
+	}
+
+	s := res.Summary
+	fmt.Printf("workload        %s (%d applications, %d task executions)\n", *wl, len(seq), s.Executed)
+	fmt.Printf("system          %d RUs, latency %v\n", s.RUs, s.Latency)
+	name := s.PolicyName
+	if *skip {
+		name += " + Skip Events"
+	}
+	fmt.Printf("policy          %s\n", name)
+	fmt.Printf("reuse           %d/%d = %.2f%%\n", s.Reused, s.Executed, s.ReuseRate())
+	fmt.Printf("makespan        %v (ideal %v)\n", s.Makespan, s.IdealMakespan)
+	fmt.Printf("overhead        %v (%.2f%% of the original %v)\n",
+		s.Overhead(), s.RemainingOverheadPct(), s.OriginalOverhead())
+	fmt.Printf("loads           %d (skips taken: %d, preloads: %d)\n",
+		s.Loads, res.Run.Skips, res.Run.Preloads)
+	if d, err := metrics.Delays(res.Run, res.Ideal); err == nil && d.Count > 0 {
+		fmt.Printf("per-app delay   mean %v, p50 %v, p95 %v, max %v\n", d.Mean, d.P50, d.P95, d.Max)
+	}
+	if *gantt {
+		fmt.Println()
+		fmt.Print(res.Run.Trace.Gantt(trace.GanttOptions{TickMs: *tick}))
+	}
+	if *svgOut != "" {
+		if err := os.WriteFile(*svgOut, []byte(res.Run.Trace.SVG()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("schedule SVG    %s\n", *svgOut)
+	}
+	if *traceOut != "" {
+		data, err := json.MarshalIndent(res.Run.Trace, "", " ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("trace JSON      %s\n", *traceOut)
+	}
+}
+
+func buildWorkload(name string, apps int, seed int64) ([]*taskgraph.Graph, error) {
+	switch name {
+	case "fig2":
+		return workload.Fig2Sequence(), nil
+	case "fig3":
+		return workload.Fig3Sequence(), nil
+	case "multimedia":
+		feed, err := dynlist.RandomSequence(workload.Multimedia(), apps, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		items := feed.Remaining()
+		seq := make([]*taskgraph.Graph, len(items))
+		for i, it := range items {
+			seq[i] = it.Graph
+		}
+		return seq, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want fig2, fig3 or multimedia)", name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "rtrsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,29 @@
+// Package taskreuse is a faithful Go reproduction of "A Replacement
+// Technique to Maximize Task Reuse in Reconfigurable Systems" (Clemente,
+// Resano, Mozos et al., IPDPS Workshops / Reconfigurable Architectures
+// 2011).
+//
+// The paper proposes a hybrid design-time/run-time configuration
+// replacement technique for FPGA-style multitasking systems built from
+// equal-sized reconfigurable units: Local LFD (Belady's longest-forward-
+// distance restricted to the run-time Dynamic List window) combined with
+// Skip Events (deliberately postponing a reconfiguration, within a task's
+// precomputed mobility, to protect a configuration known to be reused
+// soon).
+//
+// The library lives under internal/:
+//
+//   - internal/core — the public facade: configure a System, run
+//     workloads, get the paper's metrics.
+//   - internal/taskgraph, internal/sim, internal/ru — the substrates:
+//     task-graph model, discrete-event engine, reconfigurable-unit array.
+//   - internal/manager — the event-triggered execution manager (paper
+//     Fig. 4) with the replacement module (Fig. 8).
+//   - internal/policy — LRU, FIFO, MRU, Random, LFD and Local LFD.
+//   - internal/mobility — the design-time phase (Fig. 6).
+//   - internal/experiments — regenerates every table and figure.
+//
+// The benchmarks in bench_test.go regenerate the paper's measured tables;
+// cmd/rtrrepro prints the full evaluation. See README.md, DESIGN.md and
+// EXPERIMENTS.md.
+package taskreuse

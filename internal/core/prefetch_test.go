@@ -1,0 +1,39 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestCrossGraphPrefetchThroughFacade: the extension is reachable from
+// the public configuration and improves the Fig. 3 schedule beyond skip
+// events (the boundary loads hide under the preceding graph).
+func TestCrossGraphPrefetchThroughFacade(t *testing.T) {
+	seq := workload.Fig3Sequence()
+	base := Config{RUs: 4, Latency: ms(4), Policy: "locallfd:1"}
+
+	plain, err := Evaluate(base, seq...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := base
+	pf.CrossGraphPrefetch = true
+	fetched, err := Evaluate(pf, seq...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fetched.Summary.Makespan.Before(plain.Summary.Makespan) {
+		t.Errorf("prefetch did not improve: %v vs %v",
+			fetched.Summary.Makespan, plain.Summary.Makespan)
+	}
+	if fetched.Run.Preloads == 0 {
+		t.Error("no preloads recorded")
+	}
+	// The ideal baseline must be identical (latency-0 timing is
+	// prefetch-independent), keeping overheads comparable.
+	if fetched.Ideal.Makespan != plain.Ideal.Makespan {
+		t.Errorf("ideal baselines diverged: %v vs %v",
+			fetched.Ideal.Makespan, plain.Ideal.Makespan)
+	}
+}

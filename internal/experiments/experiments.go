@@ -1,0 +1,161 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section VI) plus the motivational examples (Section II) and
+// the mobility worked example (Section V). Each experiment writes a
+// self-contained text report giving the measured values next to the
+// paper's published ones.
+//
+// The experiments are deterministic: workload sequences are drawn from a
+// seeded generator, and the simulator itself has no hidden randomness.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sort"
+
+	"repro/internal/dynlist"
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// Options parametrizes the experiment suite.
+type Options struct {
+	// Seed drives workload generation (default 2011, the paper's year).
+	Seed int64
+	// Apps is the length of the random application sequence for the
+	// Fig. 9 experiments (paper: 500).
+	Apps int
+	// RUs is the sweep of unit counts for Fig. 9 (paper plots 4..10 and
+	// remarks on 3).
+	RUs []int
+	// Latency is the reconfiguration latency (paper examples: 4 ms).
+	Latency simtime.Time
+	// CSV additionally emits machine-readable CSV after each figure
+	// table (Fig. 9 family and ablations).
+	CSV bool
+}
+
+// DefaultOptions returns the paper's parameters.
+func DefaultOptions() Options {
+	return Options{
+		Seed:    2011,
+		Apps:    500,
+		RUs:     []int{4, 5, 6, 7, 8, 9, 10},
+		Latency: workload.PaperLatency(),
+	}
+}
+
+// normalized fills zero fields with defaults.
+func (o Options) normalized() Options {
+	def := DefaultOptions()
+	if o.Seed == 0 {
+		o.Seed = def.Seed
+	}
+	if o.Apps <= 0 {
+		o.Apps = def.Apps
+	}
+	if len(o.RUs) == 0 {
+		o.RUs = def.RUs
+	}
+	if o.Latency <= 0 {
+		o.Latency = def.Latency
+	}
+	return o
+}
+
+// Workload draws the Fig. 9 experiment inputs: the template pool
+// ({JPEG, MPEG-1, Hough}) and a sequence of Apps applications selected
+// uniformly from it with the option seed. The sequence references the
+// returned pool's template objects — mobility tables are keyed by
+// template identity, so callers must compute them from this same pool.
+func (o Options) Workload() (pool, seq []*taskgraph.Graph, err error) {
+	pool = workload.Multimedia()
+	if err := workload.ValidateUniverse(pool); err != nil {
+		return nil, nil, err
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	feed, err := dynlist.RandomSequence(pool, o.Apps, rng)
+	if err != nil {
+		return nil, nil, err
+	}
+	items := feed.Remaining()
+	seq = make([]*taskgraph.Graph, len(items))
+	for i, it := range items {
+		seq[i] = it.Graph
+	}
+	return pool, seq, nil
+}
+
+// sequence is the sequence-only convenience over workload.
+func (o Options) sequence() ([]*taskgraph.Graph, error) {
+	_, seq, err := o.Workload()
+	return seq, err
+}
+
+// Runner produces one experiment report.
+type Runner func(opt Options, w io.Writer) error
+
+// Experiment couples an identifier with its runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   Runner
+}
+
+// All returns every experiment in report order.
+func All() []Experiment {
+	return []Experiment{
+		{"fig2", "Fig. 2 — motivational example: LRU vs LFD vs Local LFD", Fig2},
+		{"fig3", "Fig. 3 — motivational example: skip events", Fig3},
+		{"fig7", "Fig. 7 — design-time mobility calculation", Fig7},
+		{"fig9a", "Fig. 9a — reuse rates vs number of RUs (ASAP)", Fig9A},
+		{"fig9b", "Fig. 9b — reuse rates with skip events", Fig9B},
+		{"fig9c", "Fig. 9c — remaining reconfiguration overhead", Fig9C},
+		{"table1", "Table I — run-time delays of the replacement policies", TableI},
+		{"table2", "Table II — impact of the replacement module", TableII},
+		{"ablation", "Ablation — window sweep, skip contribution, extra baselines", Ablation},
+		{"energy", "Extension — reconfiguration energy and bus traffic", EnergyExperiment},
+		{"sensitivity", "Extension — latency sensitivity and heterogeneous latencies", Sensitivity},
+		{"prefetch", "Extension — cross-graph prefetch", Prefetch},
+		{"variance", "Extension — seed robustness of the headline claim", Variance},
+	}
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// IDs lists experiment identifiers.
+func IDs() []string {
+	var ids []string
+	for _, e := range All() {
+		ids = append(ids, e.ID)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// check prints a measured-vs-expected line with a PASS/FAIL verdict; exact
+// anchors from the paper's worked examples use it.
+func check(w io.Writer, what string, got, want any) bool {
+	ok := fmt.Sprint(got) == fmt.Sprint(want)
+	verdict := "PASS"
+	if !ok {
+		verdict = "FAIL"
+	}
+	fmt.Fprintf(w, "  %-44s measured %-10v paper %-10v %s\n", what, got, want, verdict)
+	return ok
+}
+
+// section prints a report header.
+func section(w io.Writer, title string) {
+	fmt.Fprintf(w, "\n=== %s ===\n", title)
+}

@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSensitivityReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Sensitivity(smallOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"latency sensitivity", "16 ms", "heterogeneous", "LFD"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("sensitivity report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestPrefetchReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Prefetch(smallOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"cross-graph prefetch", "preloads", "Skip + prefetch"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("prefetch report missing %q:\n%s", frag, out)
+		}
+	}
+	// The prefetch rows must report preloads > 0 at some unit count.
+	if !strings.Contains(out, "prefetch") {
+		t.Error("no prefetch rows")
+	}
+}
+
+func TestEnergyReport(t *testing.T) {
+	var buf bytes.Buffer
+	if err := EnergyExperiment(smallOptions(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"energy", "traffic", "LRU", "LFD", "saved %"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("energy report missing %q:\n%s", frag, out)
+		}
+	}
+}
+
+func TestVarianceReport(t *testing.T) {
+	opt := smallOptions()
+	opt.Apps = 40 // keep 10 seeds fast
+	var buf bytes.Buffer
+	if err := Variance(opt, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"seed robustness", "stddev", "of 10 seeds"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("variance report missing %q:\n%s", frag, out)
+		}
+	}
+}

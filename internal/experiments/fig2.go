@@ -1,0 +1,49 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/simtime"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// Fig2 reproduces the paper's first motivational example (Fig. 2): two
+// small task graphs executed as the sequence TG1, TG2, TG2, TG1, TG2 on
+// four units with 4 ms reconfiguration latency, under LRU, LFD and Local
+// LFD with a one-graph Dynamic List.
+func Fig2(opt Options, w io.Writer) error {
+	opt = opt.normalized()
+	section(w, "Fig. 2 — motivational example (R=4, latency 4 ms)")
+	seq := workload.Fig2Sequence()
+
+	type anchor struct {
+		policy   string
+		reuse    int    // reused tasks of 12
+		reusePct string // paper's printed rate
+		overhead simtime.Time
+	}
+	anchors := []anchor{
+		{"lru", 2, "16.7%", simtime.FromMs(22)},
+		{"lfd", 5, "41.7%", simtime.FromMs(11)},
+		{"locallfd:1", 5, "41.7%", simtime.FromMs(15)},
+	}
+	for _, a := range anchors {
+		res, err := core.Evaluate(core.Config{
+			RUs: 4, Latency: workload.PaperLatency(), Policy: a.policy, RecordTrace: true,
+		}, seq...)
+		if err != nil {
+			return err
+		}
+		s := res.Summary
+		fmt.Fprintf(w, "\n%s (paper reuse %s):\n", s.PolicyName, a.reusePct)
+		check(w, "reused tasks (of 12)", s.Reused, a.reuse)
+		check(w, "reconfiguration overhead", s.Overhead(), a.overhead)
+		fmt.Fprintf(w, "  reuse rate %.1f%%, makespan %v (ideal %v)\n",
+			s.ReuseRate(), s.Makespan, s.IdealMakespan)
+		fmt.Fprint(w, res.Run.Trace.Gantt(trace.GanttOptions{TickMs: 1}))
+	}
+	return nil
+}

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/dynlist"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/policy"
+)
+
+// fig9Series is one plotted line: a policy configuration instantiated per
+// unit count (mobility tables are design-time artefacts that depend on R).
+type fig9Series struct {
+	name string
+	skip bool
+	mk   func() (policy.Policy, error)
+}
+
+func localLFDSeries(window int, skip bool) fig9Series {
+	name := fmt.Sprintf("Local LFD (%d)", window)
+	if skip {
+		name += " + Skip Events"
+	}
+	return fig9Series{
+		name: name,
+		skip: skip,
+		mk:   func() (policy.Policy, error) { return policy.NewLocalLFD(window) },
+	}
+}
+
+func fixedSeries(name string, p policy.Policy) fig9Series {
+	return fig9Series{name: name, mk: func() (policy.Policy, error) { return p, nil }}
+}
+
+// fig9Run executes the shared Fig. 9 protocol: one random 500-application
+// sequence, a sweep over unit counts, one row per policy series. metric
+// extracts the plotted quantity from a run summary.
+func fig9Run(opt Options, w io.Writer, title string, series []fig9Series,
+	metric func(*metrics.Summary) float64, paperAvg map[string]float64) error {
+
+	opt = opt.normalized()
+	pool, seq, err := opt.Workload()
+	if err != nil {
+		return err
+	}
+	section(w, fmt.Sprintf("%s — %d apps from {JPEG, MPEG-1, Hough}, seed %d, latency %v",
+		title, len(seq), opt.Seed, opt.Latency))
+
+	// Ideal (zero-latency) baselines depend only on the unit count.
+	ideals := make(map[int]*manager.Result, len(opt.RUs))
+	for _, r := range opt.RUs {
+		ideal, err := manager.Run(manager.Config{
+			RUs: r, Latency: 0, Policy: policy.NewLRU(),
+		}, dynlist.NewSequence(seq...))
+		if err != nil {
+			return fmt.Errorf("ideal baseline R=%d: %w", r, err)
+		}
+		ideals[r] = ideal
+	}
+
+	cols := make([]string, 0, len(opt.RUs)+1)
+	for _, r := range opt.RUs {
+		cols = append(cols, strconv.Itoa(r))
+	}
+	cols = append(cols, "Avg.")
+	tab := metrics.NewTable("", "policy \\ RUs", cols...)
+
+	for _, s := range series {
+		vals := make([]float64, 0, len(opt.RUs))
+		for _, r := range opt.RUs {
+			pol, err := s.mk()
+			if err != nil {
+				return err
+			}
+			cfg := manager.Config{RUs: r, Latency: opt.Latency, Policy: pol, SkipEvents: s.skip}
+			if s.skip {
+				lookup, _, err := mobility.ComputeAll(pool, r, opt.Latency)
+				if err != nil {
+					return fmt.Errorf("%s R=%d design-time phase: %w", s.name, r, err)
+				}
+				cfg.Mobility = lookup
+			}
+			res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
+			if err != nil {
+				return fmt.Errorf("%s R=%d: %w", s.name, r, err)
+			}
+			sum, err := metrics.Summarize(s.name, r, opt.Latency, res, ideals[r])
+			if err != nil {
+				return fmt.Errorf("%s R=%d: %w", s.name, r, err)
+			}
+			vals = append(vals, metric(sum))
+		}
+		if err := tab.AddFloatRow(s.name, append(vals, metrics.Mean(vals))...); err != nil {
+			return err
+		}
+	}
+	fmt.Fprint(w, tab.String())
+	if opt.CSV {
+		fmt.Fprintln(w, "\ncsv:")
+		fmt.Fprint(w, tab.CSV())
+	}
+	if len(paperAvg) > 0 {
+		fmt.Fprintln(w, "\npaper-reported averages for comparison:")
+		for _, s := range series {
+			if v, ok := paperAvg[s.name]; ok {
+				fmt.Fprintf(w, "  %-28s %.2f\n", s.name, v)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig9A reproduces Fig. 9a: reuse rates of LRU, Local LFD (1/2/4) and LFD
+// under a pure ASAP load order, for 4–10 units. Expected shape: LRU far
+// below; Local LFD approaches LFD as the Dynamic List window grows
+// (paper averages: LRU 30.06 %, Local LFD(4) 45.93 %, LFD 45.97 %).
+func Fig9A(opt Options, w io.Writer) error {
+	series := []fig9Series{
+		fixedSeries("LRU", policy.NewLRU()),
+		localLFDSeries(1, false),
+		localLFDSeries(2, false),
+		localLFDSeries(4, false),
+		fixedSeries("LFD", policy.NewLFD()),
+	}
+	return fig9Run(opt, w, "Fig. 9a — reuse rate (%) vs number of RUs (ASAP)",
+		series, (*metrics.Summary).ReuseRate,
+		map[string]float64{"LRU": 30.06, "Local LFD (4)": 45.93, "LFD": 45.97})
+}
+
+// Fig9B reproduces Fig. 9b: the skip-events feature lifts Local LFD(1)'s
+// reuse above even clairvoyant LFD, because LFD never delays a load
+// (paper averages: Local LFD(1)+Skip 48.19 %, LFD 44.38 %).
+func Fig9B(opt Options, w io.Writer) error {
+	series := []fig9Series{
+		fixedSeries("LRU", policy.NewLRU()),
+		localLFDSeries(1, false),
+		localLFDSeries(1, true),
+		fixedSeries("LFD", policy.NewLFD()),
+	}
+	return fig9Run(opt, w, "Fig. 9b — reuse rate (%) with Skip Events",
+		series, (*metrics.Summary).ReuseRate,
+		map[string]float64{"Local LFD (1) + Skip Events": 48.19, "LFD": 44.38})
+}
+
+// Fig9C reproduces Fig. 9c: the percentage of the original
+// reconfiguration overhead that remains. Expected shape: decreasing with
+// more units; LFD lowest on average (paper 7.22 %) with Local LFD(4)+Skip
+// close behind (8.9 %); at 4 units the skip variants beat LFD thanks to
+// the extreme contention (15 tasks on 4 units).
+func Fig9C(opt Options, w io.Writer) error {
+	series := []fig9Series{
+		fixedSeries("LRU", policy.NewLRU()),
+		localLFDSeries(1, true),
+		localLFDSeries(2, true),
+		localLFDSeries(4, true),
+		fixedSeries("LFD", policy.NewLFD()),
+	}
+	err := fig9Run(opt, w, "Fig. 9c — remaining reconfiguration overhead (%)",
+		series, (*metrics.Summary).RemainingOverheadPct,
+		map[string]float64{"Local LFD (4) + Skip Events": 8.9, "LFD": 7.22})
+	if err == nil {
+		fmt.Fprintln(w, "  (the paper additionally reports 19.19 % for LRU at R=4)")
+	}
+	return err
+}

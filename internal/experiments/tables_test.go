@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// The Table I/II runners measure with testing.Benchmark, so each takes
+// seconds of wall time; they are exercised here end to end but skipped in
+// -short mode.
+
+func TestTableIMeasurementShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-based measurement")
+	}
+	rows, err := MeasureTableI(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d, want 5", len(rows))
+	}
+	byName := map[string]TableIRow{}
+	for _, r := range rows {
+		if r.NsPerOp <= 0 {
+			t.Errorf("%s: non-positive timing %v", r.Name, r.NsPerOp)
+		}
+		byName[r.Name] = r
+	}
+	// The paper's ordering must hold on the host: LRU and the Local LFD
+	// windows monotonically below LFD.
+	l1 := byName["Local LFD (1) + Skip Events"].NsPerOp
+	l2 := byName["Local LFD (2) + Skip Events"].NsPerOp
+	l4 := byName["Local LFD (4) + Skip Events"].NsPerOp
+	lfd := byName["LFD"].NsPerOp
+	if !(l1 < l2 && l2 < l4 && l4 < lfd) {
+		t.Errorf("ordering violated: L1=%v L2=%v L4=%v LFD=%v", l1, l2, l4, lfd)
+	}
+	if lfd/l1 < 10 {
+		t.Errorf("LFD/LocalLFD(1) ratio %v implausibly small", lfd/l1)
+	}
+}
+
+func TestTableIIMeasurementShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("benchmark-based measurement")
+	}
+	rows, err := MeasureTableII(smallOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+	inits := map[string]float64{"jpeg": 79, "mpeg1": 37, "hough": 94}
+	for _, r := range rows {
+		if r.InitialExecMs != inits[r.Benchmark] {
+			t.Errorf("%s: init %v ms, want %v", r.Benchmark, r.InitialExecMs, inits[r.Benchmark])
+		}
+		// The hybrid split's raison d'être: the design-time phase costs
+		// orders of magnitude more than one run-time decision.
+		if r.DesignNs < 50*r.ModuleNs {
+			t.Errorf("%s: design %v ns not ≫ module %v ns", r.Benchmark, r.DesignNs, r.ModuleNs)
+		}
+		if r.ManagerNs <= r.ModuleNs {
+			t.Errorf("%s: manager %v ns not above module %v ns", r.Benchmark, r.ManagerNs, r.ModuleNs)
+		}
+	}
+}

@@ -1,0 +1,91 @@
+package manager
+
+import (
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// evictionsOf extracts the (task, evicted) pairs of all true replacements
+// (loads that displaced a resident configuration), in time order.
+func evictionsOf(tr *trace.Trace) [][2]taskgraph.TaskID {
+	var out [][2]taskgraph.TaskID
+	for _, l := range tr.Loads {
+		if l.Evicted != taskgraph.NoTask {
+			out = append(out, [2]taskgraph.TaskID{l.Task, l.Evicted})
+		}
+	}
+	return out
+}
+
+func wantEvictions(t *testing.T, got, want [][2]taskgraph.TaskID) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("evictions = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("eviction %d = task %d evicts %d, want task %d evicts %d\nall: %v",
+				i, got[i][0], got[i][1], want[i][0], want[i][1], got)
+		}
+	}
+}
+
+// TestFig2LFDVictimNarrative pins the victim choices the paper walks
+// through for Fig. 2b: "when the first replacement has to be made (when
+// Task 5 has to be loaded), LFD selects RU3 as victim" (task 3), and
+// "when Task 3 has to be loaded for the second time, LFD selects RU3
+// (which has Task 5 loaded)". The final load of task 5 then evicts the
+// never-again-needed task 1.
+func TestFig2LFDVictimNarrative(t *testing.T) {
+	res := runValidated(t, fig2Config(policy.NewLFD()), workload.Fig2Sequence()...)
+	wantEvictions(t, evictionsOf(res.Trace), [][2]taskgraph.TaskID{
+		{5, 3}, // first replacement: loading 5 evicts task 3
+		{3, 5}, // second: reloading 3 evicts task 5
+		{5, 1}, // last: reloading 5 evicts task 1 (all-infinite tie → first unit)
+	})
+}
+
+// TestFig2LocalLFDVictimNarrative pins Fig. 2c: "the difference with
+// respect to LFD is in the load of the first instance of Task 5, which
+// this time selects RU1 as victim" (task 1) because the one-graph window
+// cannot see Task Graph 1 returning.
+func TestFig2LocalLFDVictimNarrative(t *testing.T) {
+	res := runValidated(t, fig2Config(mustLocalLFD(t, 1)), workload.Fig2Sequence()...)
+	wantEvictions(t, evictionsOf(res.Trace), [][2]taskgraph.TaskID{
+		{5, 1}, // the paper's highlighted difference: RU1 (task 1), not RU3
+		{1, 5}, // reloading 1 evicts 5 (farthest in window: [2,3,4,5])
+		{5, 1}, // final 5 evicts 1 again (empty window → first candidate)
+	})
+}
+
+// TestFig3SkipVictimSwitch pins Fig. 3b's mechanism: loading task 7 first
+// sees only the reusable task 1 as a victim and skips; after task 4
+// finishes, the choice is between tasks 1 and 4, "and it will select
+// Task 4 since it is not going to be used again in the near future".
+func TestFig3SkipVictimSwitch(t *testing.T) {
+	res := runValidated(t, Config{
+		RUs: 4, Latency: ms(4), Policy: mustLocalLFD(t, 1),
+		SkipEvents: true, Mobility: fig3Mobility,
+	}, workload.Fig3Sequence()...)
+	if len(res.Trace.Skips) != 1 {
+		t.Fatalf("skips = %v, want exactly one", res.Trace.Skips)
+	}
+	s := res.Trace.Skips[0]
+	if s.Task != 7 || s.Victim != 1 {
+		t.Errorf("skip = load of %d protecting %d, want load of 7 protecting 1", s.Task, s.Victim)
+	}
+	// Task 7's eventual load must evict task 4, not task 1.
+	for _, l := range res.Trace.Loads {
+		if l.Task == 7 {
+			if l.Evicted != 4 {
+				t.Errorf("task 7 evicted %d, want 4", l.Evicted)
+			}
+			return
+		}
+	}
+	t.Fatal("task 7 never loaded")
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"fmt"
+
+	"repro/internal/manager"
+	"repro/internal/taskgraph"
+)
+
+// EnergyModel quantifies the paper's secondary claims: "higher reuse
+// rates reduce the system energy consumption, since a reconfiguration
+// process consumes a large amount of energy [4]. In addition, higher
+// reuse rates also reduce the pressure over the external memory and the
+// system bus, since the reconfigurations involve moving large amounts of
+// data from an external memory to the FPGA."
+//
+// Each configuration load moves the task's bitstream from external memory
+// onto the device, costing energy proportional to its size; a reused task
+// moves nothing. The defaults follow the magnitudes reported for
+// Virtex-class partial reconfiguration in the paper's era (Becker, Luk &
+// Cheung, FCCM 2010 — the paper's reference [4]): bitstreams of a few
+// hundred kilobytes per region and reconfiguration energy on the order of
+// millijoules per load.
+type EnergyModel struct {
+	// BitstreamBytes gives each task's configuration size. Tasks absent
+	// from the map (or a nil map) use DefaultBitstreamBytes.
+	BitstreamBytes map[taskgraph.TaskID]int
+	// DefaultBitstreamBytes is the fallback configuration size.
+	DefaultBitstreamBytes int
+	// NanojoulePerByte is the energy to transfer and write one bitstream
+	// byte during reconfiguration.
+	NanojoulePerByte float64
+}
+
+// DefaultEnergyModel returns a model with uniform 300 KiB bitstreams
+// (a typical equal-sized-region partial bitstream on the paper's
+// Virtex-II Pro class device) at 10 nJ/byte — about 3 mJ per load.
+func DefaultEnergyModel() EnergyModel {
+	return EnergyModel{
+		DefaultBitstreamBytes: 300 << 10,
+		NanojoulePerByte:      10,
+	}
+}
+
+// bytesOf returns the bitstream size for a task.
+func (m EnergyModel) bytesOf(id taskgraph.TaskID) int {
+	if b, ok := m.BitstreamBytes[id]; ok {
+		return b
+	}
+	return m.DefaultBitstreamBytes
+}
+
+// EnergyReport aggregates the reconfiguration energy and memory traffic
+// of a run.
+type EnergyReport struct {
+	// Loads and Reuses echo the run's counters.
+	Loads  int
+	Reuses int
+	// BusBytes is the total bitstream traffic moved over the external
+	// memory bus.
+	BusBytes int64
+	// SpentMillijoules is the reconfiguration energy actually consumed.
+	SpentMillijoules float64
+	// SavedBytes and SavedMillijoules quantify what reuse avoided: the
+	// traffic and energy the same schedule would have cost had every
+	// reused task been loaded instead.
+	SavedBytes       int64
+	SavedMillijoules float64
+}
+
+// Energy computes the energy/traffic report for a run. When the run was
+// traced, per-load task identities price each transfer individually;
+// otherwise the default bitstream size prices the aggregate counters.
+func Energy(res *manager.Result, model EnergyModel) (*EnergyReport, error) {
+	if res == nil {
+		return nil, fmt.Errorf("metrics: nil result")
+	}
+	if model.DefaultBitstreamBytes <= 0 {
+		return nil, fmt.Errorf("metrics: non-positive default bitstream size %d", model.DefaultBitstreamBytes)
+	}
+	if model.NanojoulePerByte < 0 {
+		return nil, fmt.Errorf("metrics: negative energy density %v", model.NanojoulePerByte)
+	}
+	rep := &EnergyReport{Loads: res.Loads, Reuses: res.Reused}
+	if tr := res.Trace; tr != nil {
+		for _, l := range tr.Loads {
+			rep.BusBytes += int64(model.bytesOf(l.Task))
+		}
+		for _, e := range tr.Execs {
+			if e.Reused {
+				rep.SavedBytes += int64(model.bytesOf(e.Task))
+			}
+		}
+	} else {
+		rep.BusBytes = int64(res.Loads) * int64(model.DefaultBitstreamBytes)
+		rep.SavedBytes = int64(res.Reused) * int64(model.DefaultBitstreamBytes)
+	}
+	rep.SpentMillijoules = float64(rep.BusBytes) * model.NanojoulePerByte / 1e6
+	rep.SavedMillijoules = float64(rep.SavedBytes) * model.NanojoulePerByte / 1e6
+	return rep, nil
+}
+
+// SavingsPct is the fraction of the no-reuse energy that reuse avoided.
+func (r *EnergyReport) SavingsPct() float64 {
+	total := r.SpentMillijoules + r.SavedMillijoules
+	if total == 0 {
+		return 0
+	}
+	return 100 * r.SavedMillijoules / total
+}
+
+// String gives a one-line digest.
+func (r *EnergyReport) String() string {
+	return fmt.Sprintf("reconfiguration energy %.1f mJ (%d loads, %.2f MB bus traffic); reuse saved %.1f mJ (%.1f%%)",
+		r.SpentMillijoules, r.Loads, float64(r.BusBytes)/(1<<20), r.SavedMillijoules, r.SavingsPct())
+}

@@ -1,0 +1,99 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/manager"
+	"repro/internal/taskgraph"
+	"repro/internal/trace"
+)
+
+func TestEnergyFromCounters(t *testing.T) {
+	model := EnergyModel{DefaultBitstreamBytes: 1000, NanojoulePerByte: 1000} // 1 mJ per load
+	res := &manager.Result{Loads: 7, Reused: 3}
+	rep, err := Energy(res, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BusBytes != 7000 {
+		t.Errorf("BusBytes = %d, want 7000", rep.BusBytes)
+	}
+	if math.Abs(rep.SpentMillijoules-7) > 1e-9 {
+		t.Errorf("Spent = %v mJ, want 7", rep.SpentMillijoules)
+	}
+	if math.Abs(rep.SavedMillijoules-3) > 1e-9 {
+		t.Errorf("Saved = %v mJ, want 3", rep.SavedMillijoules)
+	}
+	if math.Abs(rep.SavingsPct()-30) > 1e-9 {
+		t.Errorf("SavingsPct = %v, want 30", rep.SavingsPct())
+	}
+}
+
+func TestEnergyFromTracePerTaskSizes(t *testing.T) {
+	model := EnergyModel{
+		BitstreamBytes:        map[taskgraph.TaskID]int{1: 100, 2: 900},
+		DefaultBitstreamBytes: 500,
+		NanojoulePerByte:      1e6, // 1 mJ per byte, for round numbers
+	}
+	res := &manager.Result{
+		Loads:  2,
+		Reused: 1,
+		Trace: &trace.Trace{
+			RUs: 1,
+			Loads: []trace.Load{
+				{Task: 1}, {Task: 3}, // 100 + 500 (default)
+			},
+			Execs: []trace.Exec{
+				{Task: 1}, {Task: 3},
+				{Task: 2, Reused: true}, // saved 900
+			},
+		},
+	}
+	rep, err := Energy(res, model)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.BusBytes != 600 {
+		t.Errorf("BusBytes = %d, want 600", rep.BusBytes)
+	}
+	if rep.SavedBytes != 900 {
+		t.Errorf("SavedBytes = %d, want 900", rep.SavedBytes)
+	}
+	if !strings.Contains(rep.String(), "mJ") {
+		t.Errorf("String() = %q", rep.String())
+	}
+}
+
+func TestEnergyValidation(t *testing.T) {
+	if _, err := Energy(nil, DefaultEnergyModel()); err == nil {
+		t.Error("nil result accepted")
+	}
+	if _, err := Energy(&manager.Result{}, EnergyModel{}); err == nil {
+		t.Error("zero bitstream size accepted")
+	}
+	if _, err := Energy(&manager.Result{}, EnergyModel{DefaultBitstreamBytes: 1, NanojoulePerByte: -1}); err == nil {
+		t.Error("negative energy density accepted")
+	}
+}
+
+func TestEnergyZeroRun(t *testing.T) {
+	rep, err := Energy(&manager.Result{}, DefaultEnergyModel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.SavingsPct() != 0 || rep.SpentMillijoules != 0 {
+		t.Errorf("empty run: %+v", rep)
+	}
+}
+
+func TestDefaultEnergyModelMagnitudes(t *testing.T) {
+	m := DefaultEnergyModel()
+	// One load should land in the low-millijoule range the paper's
+	// reference [4] reports for partial reconfiguration.
+	perLoad := float64(m.DefaultBitstreamBytes) * m.NanojoulePerByte / 1e6
+	if perLoad < 0.5 || perLoad > 50 {
+		t.Errorf("per-load energy %v mJ implausible", perLoad)
+	}
+}

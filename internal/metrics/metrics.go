@@ -1,0 +1,214 @@
+// Package metrics derives the paper's evaluation quantities from raw run
+// results and formats them as report tables.
+//
+// The three headline quantities are:
+//
+//   - reuse rate — reused tasks / executed tasks (Fig. 9a/9b);
+//   - reconfiguration overhead — makespan minus the ideal (zero-latency)
+//     makespan of the same workload (the per-figure "overhead" of
+//     Figs. 2 and 3);
+//   - remaining overhead percentage — overhead divided by the original
+//     overhead, where the original is what the workload would suffer if
+//     every executed task paid the full reconfiguration latency
+//     (Fig. 9c's "percentage of the original reconfiguration overhead
+//     that remains").
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/manager"
+	"repro/internal/simtime"
+)
+
+// Summary is the evaluated outcome of one run against its ideal baseline.
+type Summary struct {
+	PolicyName string
+	RUs        int
+	Latency    simtime.Time
+
+	Executed int
+	Reused   int
+	Loads    int
+	Skips    int
+
+	Makespan      simtime.Time
+	IdealMakespan simtime.Time
+}
+
+// Summarize combines a run and its zero-latency baseline.
+func Summarize(policyName string, rus int, latency simtime.Time, res, ideal *manager.Result) (*Summary, error) {
+	if res == nil || ideal == nil {
+		return nil, fmt.Errorf("metrics: nil result")
+	}
+	if res.Executed != ideal.Executed {
+		return nil, fmt.Errorf("metrics: run executed %d tasks but ideal executed %d — different workloads",
+			res.Executed, ideal.Executed)
+	}
+	if res.Makespan.Before(ideal.Makespan) {
+		return nil, fmt.Errorf("metrics: run makespan %v beats ideal %v — baseline mismatch",
+			res.Makespan, ideal.Makespan)
+	}
+	return &Summary{
+		PolicyName:    policyName,
+		RUs:           rus,
+		Latency:       latency,
+		Executed:      res.Executed,
+		Reused:        res.Reused,
+		Loads:         res.Loads,
+		Skips:         res.Skips,
+		Makespan:      res.Makespan,
+		IdealMakespan: ideal.Makespan,
+	}, nil
+}
+
+// ReuseRate returns reused/executed in percent (0 for an empty run).
+func (s *Summary) ReuseRate() float64 {
+	if s.Executed == 0 {
+		return 0
+	}
+	return 100 * float64(s.Reused) / float64(s.Executed)
+}
+
+// Overhead returns the reconfiguration overhead: makespan − ideal.
+func (s *Summary) Overhead() simtime.Time {
+	return s.Makespan.Sub(s.IdealMakespan)
+}
+
+// OriginalOverhead is the overhead the workload would suffer with no
+// prefetching and no reuse: one full latency per executed task.
+func (s *Summary) OriginalOverhead() simtime.Time {
+	return simtime.Time(int64(s.Latency) * int64(s.Executed))
+}
+
+// RemainingOverheadPct returns Overhead as a percentage of
+// OriginalOverhead (Fig. 9c's metric). Zero-latency runs report 0.
+func (s *Summary) RemainingOverheadPct() float64 {
+	orig := s.OriginalOverhead()
+	if orig == 0 {
+		return 0
+	}
+	return 100 * float64(s.Overhead()) / float64(orig)
+}
+
+// String gives a one-line digest.
+func (s *Summary) String() string {
+	return fmt.Sprintf("%s R=%d: reuse %.2f%% (%d/%d), overhead %v (%.2f%% of original), makespan %v",
+		s.PolicyName, s.RUs, s.ReuseRate(), s.Reused, s.Executed,
+		s.Overhead(), s.RemainingOverheadPct(), s.Makespan)
+}
+
+// Table accumulates rows for a text report in the shape of the paper's
+// figures: one row per series (policy), one column per x value (number of
+// units).
+type Table struct {
+	Title   string
+	XLabel  string
+	XValues []string
+	rows    []row
+}
+
+type row struct {
+	name   string
+	values []string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title, xLabel string, xValues ...string) *Table {
+	return &Table{Title: title, XLabel: xLabel, XValues: xValues}
+}
+
+// AddRow appends a series. The number of values must match the headers.
+func (t *Table) AddRow(name string, values ...string) error {
+	if len(values) != len(t.XValues) {
+		return fmt.Errorf("metrics: row %q has %d values, table has %d columns",
+			name, len(values), len(t.XValues))
+	}
+	t.rows = append(t.rows, row{name: name, values: values})
+	return nil
+}
+
+// AddFloatRow appends a series of percentages/numbers with two decimals.
+func (t *Table) AddFloatRow(name string, values ...float64) error {
+	strs := make([]string, len(values))
+	for i, v := range values {
+		strs[i] = fmt.Sprintf("%.2f", v)
+	}
+	return t.AddRow(name, strs...)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	head := append([]string{t.XLabel}, t.XValues...)
+	widths := make([]int, len(head))
+	for i, h := range head {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		if len(r.name) > widths[0] {
+			widths[0] = len(r.name)
+		}
+		for i, v := range r.values {
+			if len(v) > widths[i+1] {
+				widths[i+1] = len(v)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(head)
+	sep := make([]string, len(head))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(sep)
+	for _, r := range t.rows {
+		writeRow(append([]string{r.name}, r.values...))
+	}
+	return b.String()
+}
+
+// CSV renders the table as comma-separated values.
+func (t *Table) CSV() string {
+	var b strings.Builder
+	b.WriteString(t.XLabel)
+	for _, x := range t.XValues {
+		b.WriteByte(',')
+		b.WriteString(x)
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		b.WriteString(r.name)
+		for _, v := range r.values {
+			b.WriteByte(',')
+			b.WriteString(v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Mean returns the arithmetic mean of vs (0 for empty input).
+func Mean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, v := range vs {
+		s += v
+	}
+	return s / float64(len(vs))
+}

@@ -1,0 +1,85 @@
+package mobility
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// tableJSON is the persisted form of a design-time table: in a real
+// deployment this file ships with the application bitstreams and is the
+// only design-time artefact the run-time system needs.
+type tableJSON struct {
+	Graph         string    `json:"graph"`
+	RUs           int       `json:"rus"`
+	LatencyMs     float64   `json:"latency_ms"`
+	RefMakespanMs float64   `json:"ref_makespan_ms"`
+	Mobilities    []mobJSON `json:"mobilities"`
+	Schedules     int       `json:"schedules,omitempty"`
+}
+
+type mobJSON struct {
+	Task     taskgraph.TaskID `json:"task"`
+	Mobility int              `json:"mobility"`
+}
+
+// MarshalJSON exports the table keyed by task ID (stable across runs).
+func (t *Table) MarshalJSON() ([]byte, error) {
+	out := tableJSON{
+		Graph:         t.Graph.Name(),
+		RUs:           t.RUs,
+		LatencyMs:     t.Latency.Ms(),
+		RefMakespanMs: t.RefMakespan.Ms(),
+		Schedules:     t.Schedules,
+	}
+	for _, local := range t.Graph.RecSequence() {
+		out.Mobilities = append(out.Mobilities, mobJSON{
+			Task:     t.Graph.Task(local).ID,
+			Mobility: t.Values[local],
+		})
+	}
+	return json.Marshal(out)
+}
+
+// TableFromJSON restores a table against its graph template. The template
+// must match the one the table was computed for (same name and task set).
+func TableFromJSON(data []byte, g *taskgraph.Graph) (*Table, error) {
+	var in tableJSON
+	if err := json.Unmarshal(data, &in); err != nil {
+		return nil, fmt.Errorf("mobility: decode: %v", err)
+	}
+	if g == nil {
+		return nil, fmt.Errorf("mobility: nil graph template")
+	}
+	if in.Graph != g.Name() {
+		return nil, fmt.Errorf("mobility: table is for graph %q, template is %q", in.Graph, g.Name())
+	}
+	if len(in.Mobilities) != g.NumTasks() {
+		return nil, fmt.Errorf("mobility: table has %d entries, graph has %d tasks",
+			len(in.Mobilities), g.NumTasks())
+	}
+	if in.RUs < 1 {
+		return nil, fmt.Errorf("mobility: invalid unit count %d", in.RUs)
+	}
+	t := &Table{
+		Graph:       g,
+		RUs:         in.RUs,
+		Latency:     simtime.FromMs(in.LatencyMs),
+		RefMakespan: simtime.FromMs(in.RefMakespanMs),
+		Values:      make([]int, g.NumTasks()),
+		Schedules:   in.Schedules,
+	}
+	for _, m := range in.Mobilities {
+		local := g.IndexOf(m.Task)
+		if local < 0 {
+			return nil, fmt.Errorf("mobility: table mentions task %d absent from %q", m.Task, g.Name())
+		}
+		if m.Mobility < 0 {
+			return nil, fmt.Errorf("mobility: negative mobility %d for task %d", m.Mobility, m.Task)
+		}
+		t.Values[local] = m.Mobility
+	}
+	return t, nil
+}

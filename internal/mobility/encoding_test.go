@@ -1,0 +1,69 @@
+package mobility
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestTableJSONRoundTrip(t *testing.T) {
+	g := workload.Fig3TG2()
+	tab, err := Compute(g, 4, ms(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"graph":"fig3-tg2"`) {
+		t.Errorf("json: %s", data)
+	}
+	back, err := TableFromJSON(data, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RUs != tab.RUs || back.Latency != tab.Latency || back.RefMakespan != tab.RefMakespan {
+		t.Errorf("header changed: %+v vs %+v", back, tab)
+	}
+	for i := range tab.Values {
+		if back.Values[i] != tab.Values[i] {
+			t.Errorf("value %d: %d vs %d", i, back.Values[i], tab.Values[i])
+		}
+	}
+}
+
+func TestTableFromJSONErrors(t *testing.T) {
+	g := workload.Fig3TG2()
+	tab, err := Compute(g, 4, ms(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	good, err := json.Marshal(tab)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TableFromJSON([]byte("{"), g); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := TableFromJSON(good, nil); err == nil {
+		t.Error("nil template accepted")
+	}
+	if _, err := TableFromJSON(good, workload.JPEG()); err == nil {
+		t.Error("wrong template accepted")
+	}
+	bad := strings.Replace(string(good), `"task":7`, `"task":99`, 1)
+	if _, err := TableFromJSON([]byte(bad), g); err == nil {
+		t.Error("unknown task accepted")
+	}
+	bad = strings.Replace(string(good), `"mobility":1`, `"mobility":-3`, 1)
+	if _, err := TableFromJSON([]byte(bad), g); err == nil {
+		t.Error("negative mobility accepted")
+	}
+	bad = strings.Replace(string(good), `"rus":4`, `"rus":0`, 1)
+	if _, err := TableFromJSON([]byte(bad), g); err == nil {
+		t.Error("zero units accepted")
+	}
+}

@@ -1,0 +1,242 @@
+// Package policy implements the configuration replacement policies the
+// paper compares:
+//
+//   - LRU, FIFO, MRU, Random — classic cache-style baselines that ignore
+//     the future (the paper evaluates LRU; the others are included as
+//     additional baselines).
+//   - LFD — Belady's longest-forward-distance policy [Belady 1966], the
+//     clairvoyant upper bound on reuse; it sees the entire remaining
+//     request sequence.
+//   - Local LFD — the paper's contribution: LFD restricted to the window
+//     of knowledge actually available at run time, i.e. the remainder of
+//     the running graph's reconfiguration sequence plus the task graphs
+//     currently enqueued in the Dynamic List.
+//
+// A policy only chooses a victim among the candidates the execution
+// manager deems replaceable; the skip-events mechanism (Fig. 8) is applied
+// by the manager on top of the policy's decision, using the reusability
+// information the lookahead scan produces.
+//
+// The lookahead-based policies deliberately use the linear-scan
+// implementation the paper describes and times in Table I ("the
+// replacement module always has to search in the whole list"): for each
+// candidate, the forward distance is found by scanning the lookahead
+// sequence front to back. This keeps the measured run-time behaviour
+// faithful to the paper's.
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// WindowAll requests the entire remaining request sequence (clairvoyant
+// LFD). WindowNone requests no lookahead at all.
+const (
+	WindowAll  = -1
+	WindowNone = 0
+)
+
+// Candidate describes one replaceable unit at decision time.
+type Candidate struct {
+	RU       int              // unit index
+	Task     taskgraph.TaskID // resident configuration
+	LastUse  simtime.Time     // when it last finished executing (LRU key)
+	LoadedAt simtime.Time     // when it was written (FIFO key)
+}
+
+// Request is one replacement decision to make.
+type Request struct {
+	// Task is the configuration about to be loaded.
+	Task taskgraph.TaskID
+	// Now is the current simulation time.
+	Now simtime.Time
+	// Lookahead is the future request sequence visible to the policy,
+	// nearest first. Its extent is governed by the policy's Window: the
+	// manager passes the remainder of the running graph plus the Dynamic
+	// List window (or the full future for WindowAll).
+	Lookahead []taskgraph.TaskID
+}
+
+// Decision is the outcome of victim selection.
+type Decision struct {
+	// RU is the chosen victim unit.
+	RU int
+	// Victim is the configuration being evicted.
+	Victim taskgraph.TaskID
+	// Distance is the victim's forward distance: the index of its next
+	// occurrence in the lookahead, or -1 when it does not occur (never
+	// reused as far as the policy can see). Policies that do not inspect
+	// the future report -1.
+	Distance int
+	// Reusable reports whether the victim occurs in the lookahead; the
+	// manager's skip-events logic fires only for reusable victims.
+	Reusable bool
+}
+
+// Policy selects replacement victims.
+type Policy interface {
+	// Name identifies the policy in reports (e.g. "Local LFD (2)").
+	Name() string
+	// Window is the number of Dynamic List graphs the policy wants to
+	// see: WindowNone, WindowAll, or a positive window size.
+	Window() int
+	// SelectVictim picks a victim among candidates. The manager
+	// guarantees len(candidates) ≥ 1. Candidates arrive ordered by unit
+	// index; ties must resolve to the earliest candidate so runs are
+	// deterministic.
+	SelectVictim(req Request, candidates []Candidate) Decision
+}
+
+// scanDistance returns the index of task's first occurrence in lookahead,
+// or -1. This is the linear search the paper's Table I times.
+func scanDistance(task taskgraph.TaskID, lookahead []taskgraph.TaskID) int {
+	for i, id := range lookahead {
+		if id == task {
+			return i
+		}
+	}
+	return -1
+}
+
+// decide fills a Decision for candidate c given its scanned distance.
+func decide(c Candidate, dist int) Decision {
+	return Decision{RU: c.RU, Victim: c.Task, Distance: dist, Reusable: dist >= 0}
+}
+
+// --- LRU -----------------------------------------------------------------
+
+type lru struct{}
+
+// NewLRU returns the least-recently-used policy: evict the candidate whose
+// configuration finished executing longest ago.
+func NewLRU() Policy { return lru{} }
+
+func (lru) Name() string { return "LRU" }
+func (lru) Window() int  { return WindowNone }
+
+func (lru) SelectVictim(req Request, cands []Candidate) Decision {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.LastUse < best.LastUse {
+			best = c
+		}
+	}
+	return decide(best, scanDistance(best.Task, req.Lookahead))
+}
+
+// --- MRU -----------------------------------------------------------------
+
+type mru struct{}
+
+// NewMRU returns the most-recently-used policy (a known-adversarial
+// baseline for looping reference patterns).
+func NewMRU() Policy { return mru{} }
+
+func (mru) Name() string { return "MRU" }
+func (mru) Window() int  { return WindowNone }
+
+func (mru) SelectVictim(req Request, cands []Candidate) Decision {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.LastUse > best.LastUse {
+			best = c
+		}
+	}
+	return decide(best, scanDistance(best.Task, req.Lookahead))
+}
+
+// --- FIFO ----------------------------------------------------------------
+
+type fifo struct{}
+
+// NewFIFO returns the first-in-first-out policy: evict the configuration
+// loaded longest ago, regardless of use.
+func NewFIFO() Policy { return fifo{} }
+
+func (fifo) Name() string { return "FIFO" }
+func (fifo) Window() int  { return WindowNone }
+
+func (fifo) SelectVictim(req Request, cands []Candidate) Decision {
+	best := cands[0]
+	for _, c := range cands[1:] {
+		if c.LoadedAt < best.LoadedAt {
+			best = c
+		}
+	}
+	return decide(best, scanDistance(best.Task, req.Lookahead))
+}
+
+// --- Random --------------------------------------------------------------
+
+type random struct {
+	rng *rand.Rand
+}
+
+// NewRandom returns a uniformly random policy seeded for reproducibility.
+func NewRandom(seed int64) Policy {
+	return &random{rng: rand.New(rand.NewSource(seed))}
+}
+
+func (*random) Name() string { return "Random" }
+func (*random) Window() int  { return WindowNone }
+
+func (r *random) SelectVictim(req Request, cands []Candidate) Decision {
+	c := cands[r.rng.Intn(len(cands))]
+	return decide(c, scanDistance(c.Task, req.Lookahead))
+}
+
+// --- LFD family ----------------------------------------------------------
+
+// lfd implements longest-forward-distance over whatever lookahead it is
+// given; the window distinguishes clairvoyant LFD from Local LFD.
+type lfd struct {
+	name   string
+	window int
+}
+
+// NewLFD returns Belady's clairvoyant policy: longest forward distance
+// over the complete remaining request sequence. It is the paper's
+// reuse-optimal reference and is only realizable when the whole workload
+// is known in advance.
+func NewLFD() Policy { return &lfd{name: "LFD", window: WindowAll} }
+
+// NewLocalLFD returns the paper's Local LFD with a Dynamic List window of
+// w graphs (w ≥ 1). The policy sees the remainder of the running graph
+// plus the next w enqueued graphs.
+func NewLocalLFD(w int) (Policy, error) {
+	if w < 1 {
+		return nil, fmt.Errorf("policy: Local LFD window must be ≥ 1, got %d", w)
+	}
+	return &lfd{name: fmt.Sprintf("Local LFD (%d)", w), window: w}, nil
+}
+
+func (p *lfd) Name() string { return p.name }
+func (p *lfd) Window() int  { return p.window }
+
+// SelectVictim picks the candidate requested farthest in the future.
+// Candidates absent from the lookahead count as infinitely far; among
+// those, and among equal finite distances, the first (lowest unit index)
+// wins — the paper's Fig. 2c relies on exactly this tie-break ("Local LFD
+// selects the first candidate it finds").
+func (p *lfd) SelectVictim(req Request, cands []Candidate) Decision {
+	best := cands[0]
+	bestDist := scanDistance(best.Task, req.Lookahead)
+	if bestDist < 0 {
+		// First candidate is already never-reused; nothing can beat it.
+		return decide(best, bestDist)
+	}
+	for _, c := range cands[1:] {
+		d := scanDistance(c.Task, req.Lookahead)
+		if d < 0 {
+			return decide(c, d)
+		}
+		if d > bestDist {
+			best, bestDist = c, d
+		}
+	}
+	return decide(best, bestDist)
+}

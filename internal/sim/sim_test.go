@@ -1,0 +1,189 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func TestEmptyEngine(t *testing.T) {
+	var e Engine
+	if _, ok := e.Pop(); ok {
+		t.Error("Pop on empty engine returned ok")
+	}
+	if _, ok := e.Peek(); ok {
+		t.Error("Peek on empty engine returned ok")
+	}
+	if e.Now() != 0 || e.Len() != 0 {
+		t.Error("zero engine not at epoch")
+	}
+}
+
+func TestTimeOrdering(t *testing.T) {
+	var e Engine
+	e.Schedule(simtime.FromMs(5), EndOfExecution, 1, 0)
+	e.Schedule(simtime.FromMs(2), EndOfExecution, 2, 1)
+	e.Schedule(simtime.FromMs(9), EndOfReconfiguration, 3, 2)
+	var times []simtime.Time
+	for {
+		ev, ok := e.Pop()
+		if !ok {
+			break
+		}
+		times = append(times, ev.Time)
+		if e.Now() != ev.Time {
+			t.Errorf("Now %v != popped time %v", e.Now(), ev.Time)
+		}
+	}
+	want := []simtime.Time{simtime.FromMs(2), simtime.FromMs(5), simtime.FromMs(9)}
+	for i := range want {
+		if times[i] != want[i] {
+			t.Fatalf("pop order %v, want %v", times, want)
+		}
+	}
+}
+
+func TestKindTieBreak(t *testing.T) {
+	// At equal times, end_of_execution precedes end_of_reconfiguration,
+	// which precedes new_task_graph, regardless of insertion order.
+	var e Engine
+	at := simtime.FromMs(4)
+	e.ScheduleArrival(at, 7)
+	e.Schedule(at, EndOfReconfiguration, 2, 1)
+	e.Schedule(at, EndOfExecution, 1, 0)
+	kinds := []Kind{}
+	for {
+		ev, ok := e.Pop()
+		if !ok {
+			break
+		}
+		kinds = append(kinds, ev.Kind)
+	}
+	want := []Kind{EndOfExecution, EndOfReconfiguration, NewTaskGraph}
+	for i := range want {
+		if kinds[i] != want[i] {
+			t.Fatalf("kind order %v, want %v", kinds, want)
+		}
+	}
+}
+
+func TestInsertionTieBreak(t *testing.T) {
+	var e Engine
+	at := simtime.FromMs(1)
+	for i := 0; i < 10; i++ {
+		e.Schedule(at, EndOfExecution, 0, i)
+	}
+	for i := 0; i < 10; i++ {
+		ev, ok := e.Pop()
+		if !ok || ev.RU != i {
+			t.Fatalf("pop %d: got ru %d", i, ev.RU)
+		}
+	}
+}
+
+func TestCausalityPanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("scheduling into the past did not panic")
+		}
+	}()
+	var e Engine
+	e.Schedule(simtime.FromMs(5), EndOfExecution, 1, 0)
+	e.Pop()
+	e.Schedule(simtime.FromMs(1), EndOfExecution, 2, 0)
+}
+
+func TestArrivalPayload(t *testing.T) {
+	var e Engine
+	e.ScheduleArrival(simtime.FromMs(3), 42)
+	ev, ok := e.Pop()
+	if !ok || ev.Kind != NewTaskGraph || ev.Arg != 42 || ev.RU != -1 {
+		t.Errorf("arrival event = %+v", ev)
+	}
+}
+
+func TestPoppedCounter(t *testing.T) {
+	var e Engine
+	e.Schedule(0, EndOfExecution, 1, 0)
+	e.Schedule(0, EndOfExecution, 2, 0)
+	e.Pop()
+	if e.Popped() != 1 {
+		t.Errorf("Popped = %d, want 1", e.Popped())
+	}
+	e.Pop()
+	if e.Popped() != 2 {
+		t.Errorf("Popped = %d, want 2", e.Popped())
+	}
+}
+
+// TestHeapProperty pushes random events and checks the pop sequence is
+// sorted under the engine's total order.
+func TestHeapProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		var e Engine
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			e.Schedule(simtime.Time(rng.Int63n(100)), Kind(rng.Intn(2)), 0, i)
+		}
+		type key struct {
+			t simtime.Time
+			k Kind
+			s int
+		}
+		var got []key
+		for {
+			ev, ok := e.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, key{ev.Time, ev.Kind, ev.RU})
+		}
+		if len(got) != n {
+			t.Fatalf("trial %d: popped %d of %d", trial, len(got), n)
+		}
+		sorted := sort.SliceIsSorted(got, func(a, b int) bool {
+			if got[a].t != got[b].t {
+				return got[a].t < got[b].t
+			}
+			if got[a].k != got[b].k {
+				return got[a].k < got[b].k
+			}
+			return got[a].s < got[b].s
+		})
+		if !sorted {
+			t.Fatalf("trial %d: pop sequence not ordered: %v", trial, got)
+		}
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	// Scheduling while popping (the normal simulation pattern) preserves
+	// ordering for events at or after Now.
+	var e Engine
+	e.Schedule(simtime.FromMs(1), EndOfExecution, 1, 0)
+	ev, _ := e.Pop()
+	e.Schedule(ev.Time.Add(simtime.FromMs(4)), EndOfReconfiguration, 2, 1)
+	e.Schedule(ev.Time, EndOfExecution, 3, 2) // same instant is allowed
+	ev2, _ := e.Pop()
+	if ev2.Task != 3 {
+		t.Errorf("same-instant event should pop first, got task %d", ev2.Task)
+	}
+	ev3, _ := e.Pop()
+	if ev3.Task != 2 {
+		t.Errorf("got task %d, want 2", ev3.Task)
+	}
+}
+
+func TestKindString(t *testing.T) {
+	if EndOfExecution.String() != "end_of_execution" ||
+		EndOfReconfiguration.String() != "end_of_reconfiguration" ||
+		NewTaskGraph.String() != "new_task_graph" {
+		t.Error("Kind.String mismatch")
+	}
+	if Kind(99).String() != "kind(99)" {
+		t.Error("unknown kind formatting")
+	}
+}

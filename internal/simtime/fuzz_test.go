@@ -1,0 +1,26 @@
+package simtime
+
+import "testing"
+
+// FuzzParseMs checks the duration parser never panics and that accepted
+// values format back to something it accepts again (idempotent parse).
+func FuzzParseMs(f *testing.F) {
+	for _, s := range []string{"4", "2.5", "2.5 ms", "-1", "1e3", "", "ms", "NaN", "Inf", "0.0001"} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		v, err := ParseMs(s)
+		if err != nil {
+			return
+		}
+		back, err := ParseMs(v.String())
+		if err != nil {
+			t.Fatalf("ParseMs(%q) = %v, but its String %q does not parse: %v", s, v, v.String(), err)
+		}
+		// String rounds to microseconds, so back must equal v exactly
+		// (v is already integral microseconds).
+		if back != v {
+			t.Fatalf("round trip %q: %d != %d", s, back, v)
+		}
+	})
+}

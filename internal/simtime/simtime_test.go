@@ -1,0 +1,168 @@
+package simtime
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromMs(t *testing.T) {
+	tests := []struct {
+		ms   float64
+		want Time
+	}{
+		{0, 0},
+		{1, 1000},
+		{2.5, 2500},
+		{4, 4000},
+		{0.001, 1},
+		{79, 79000},
+		{-1.5, -1500},
+	}
+	for _, tt := range tests {
+		if got := FromMs(tt.ms); got != tt.want {
+			t.Errorf("FromMs(%v) = %d, want %d", tt.ms, got, tt.want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	tests := []struct {
+		t    Time
+		want string
+	}{
+		{0, "0 ms"},
+		{FromMs(4), "4 ms"},
+		{FromMs(2.5), "2.5 ms"},
+		{FromMs(0.25), "0.25 ms"},
+		{FromMs(15), "15 ms"},
+		{FromMs(-3.5), "-3.5 ms"},
+		{Never, "never"},
+		{Microsecond, "0.001 ms"},
+	}
+	for _, tt := range tests {
+		if got := tt.t.String(); got != tt.want {
+			t.Errorf("(%d).String() = %q, want %q", tt.t, got, tt.want)
+		}
+	}
+}
+
+func TestAddSaturation(t *testing.T) {
+	if got := Never.Add(FromMs(1)); got != Never {
+		t.Errorf("Never.Add(1ms) = %v, want Never", got)
+	}
+	if got := FromMs(1).Add(Never); got != Never {
+		t.Errorf("1ms.Add(Never) = %v, want Never", got)
+	}
+	big := Time(1) << 62
+	if got := big.Add(big); got != Never {
+		t.Errorf("overflowing Add = %d, want Never", got)
+	}
+	if got := FromMs(2).Add(FromMs(3)); got != FromMs(5) {
+		t.Errorf("2ms+3ms = %v, want 5ms", got)
+	}
+}
+
+func TestSub(t *testing.T) {
+	if got := FromMs(5).Sub(FromMs(2)); got != FromMs(3) {
+		t.Errorf("5ms-2ms = %v", got)
+	}
+	if got := Never.Sub(FromMs(2)); got != Never {
+		t.Errorf("Never-2ms = %v, want Never", got)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	a, b := FromMs(1), FromMs(2)
+	if !a.Before(b) || b.Before(a) {
+		t.Error("Before misordered")
+	}
+	if !b.After(a) || a.After(b) {
+		t.Error("After misordered")
+	}
+	if !Never.IsNever() || FromMs(1).IsNever() {
+		t.Error("IsNever wrong")
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	if Max(FromMs(1), FromMs(2)) != FromMs(2) {
+		t.Error("Max wrong")
+	}
+	if Min(FromMs(1), FromMs(2)) != FromMs(1) {
+		t.Error("Min wrong")
+	}
+	if MaxOf() != 0 {
+		t.Error("MaxOf() should be 0")
+	}
+	if MaxOf(FromMs(3), FromMs(9), FromMs(4)) != FromMs(9) {
+		t.Error("MaxOf wrong")
+	}
+}
+
+func TestParseMs(t *testing.T) {
+	tests := []struct {
+		in      string
+		want    Time
+		wantErr bool
+	}{
+		{"4", FromMs(4), false},
+		{"2.5", FromMs(2.5), false},
+		{"2.5 ms", FromMs(2.5), false},
+		{"4ms", FromMs(4), false},
+		{" 10 ", FromMs(10), false},
+		{"", 0, true},
+		{"ms", 0, true},
+		{"abc", 0, true},
+	}
+	for _, tt := range tests {
+		got, err := ParseMs(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseMs(%q) error = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseMs(%q) = %v, want %v", tt.in, got, tt.want)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	// For any non-negative microsecond count below 2^40, String followed by
+	// ParseMs recovers the value exactly.
+	f := func(us uint32) bool {
+		tm := Time(us)
+		parsed, err := ParseMs(tm.String())
+		return err == nil && parsed == tm
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAddSubInverseProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		ta, tb := Time(a), Time(b)
+		return ta.Add(tb).Sub(tb) == ta
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseMsRejectsNonFinite(t *testing.T) {
+	for _, s := range []string{"NaN", "Inf", "-Inf", "1e300", "-1e300"} {
+		if _, err := ParseMs(s); err == nil {
+			t.Errorf("ParseMs(%q) accepted a non-representable value", s)
+		}
+	}
+}
+
+func TestFromMsPanicsOnNaN(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("FromMs(NaN) did not panic")
+		}
+	}()
+	FromMs(math.NaN())
+}

@@ -1,0 +1,123 @@
+package taskgraph
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/simtime"
+)
+
+// Chain builds a linear pipeline: ids[0] → ids[1] → … Each task i gets
+// execution time execs[i]. Fig. 2's two motivational graphs are chains.
+func Chain(name string, firstID TaskID, execs ...simtime.Time) *Graph {
+	b := NewBuilder(name)
+	for i, e := range execs {
+		id := firstID + TaskID(i)
+		b.AddTask(id, fmt.Sprintf("%s.t%d", name, i+1), e)
+		if i > 0 {
+			b.AddDep(id-1, id)
+		}
+	}
+	return b.MustBuild()
+}
+
+// ForkJoin builds root → {branches…} → sink when sink is true, or just
+// root → {branches…} when false. Fig. 3's Task Graph 1 is a fork
+// (no sink); its Task Graph 2 is a diamond (fork-join with two branches).
+func ForkJoin(name string, firstID TaskID, rootExec simtime.Time, branchExecs []simtime.Time, sinkExec simtime.Time, sink bool) *Graph {
+	b := NewBuilder(name)
+	root := firstID
+	b.AddTask(root, name+".root", rootExec)
+	id := root
+	for i, e := range branchExecs {
+		id++
+		b.AddTask(id, fmt.Sprintf("%s.b%d", name, i+1), e)
+		b.AddDep(root, id)
+	}
+	if sink {
+		sid := id + 1
+		b.AddTask(sid, name+".sink", sinkExec)
+		for bi := root + 1; bi <= id; bi++ {
+			b.AddDep(bi, sid)
+		}
+	}
+	return b.MustBuild()
+}
+
+// RandomConfig parametrizes RandomLayered.
+type RandomConfig struct {
+	Tasks       int          // total number of tasks (≥1)
+	MaxWidth    int          // maximum tasks per layer (≥1)
+	EdgeProb    float64      // probability of an edge between adjacent-layer pairs
+	MinExec     simtime.Time // per-task execution time bounds
+	MaxExec     simtime.Time
+	LongEdges   bool // also allow edges skipping layers
+	FirstTaskID TaskID
+}
+
+// RandomLayered generates a random layered DAG: tasks are dealt into
+// layers of random width (≤ MaxWidth) and edges point from earlier to
+// later layers. Every non-root task receives at least one predecessor so
+// the graph is connected enough to exercise dependency handling.
+// Generation is fully determined by rng, keeping experiments reproducible.
+func RandomLayered(name string, cfg RandomConfig, rng *rand.Rand) (*Graph, error) {
+	if cfg.Tasks < 1 {
+		return nil, fmt.Errorf("taskgraph: RandomLayered needs ≥1 task, got %d", cfg.Tasks)
+	}
+	if cfg.MaxWidth < 1 {
+		return nil, fmt.Errorf("taskgraph: RandomLayered needs MaxWidth ≥1, got %d", cfg.MaxWidth)
+	}
+	if cfg.MinExec <= 0 || cfg.MaxExec < cfg.MinExec {
+		return nil, fmt.Errorf("taskgraph: bad exec bounds [%v, %v]", cfg.MinExec, cfg.MaxExec)
+	}
+	first := cfg.FirstTaskID
+	if first <= NoTask {
+		first = 1
+	}
+	b := NewBuilder(name)
+	// Deal tasks into layers.
+	var layers [][]TaskID
+	id := first
+	remaining := cfg.Tasks
+	for remaining > 0 {
+		w := 1 + rng.Intn(cfg.MaxWidth)
+		if w > remaining {
+			w = remaining
+		}
+		layer := make([]TaskID, 0, w)
+		for i := 0; i < w; i++ {
+			exec := cfg.MinExec
+			if span := int64(cfg.MaxExec - cfg.MinExec); span > 0 {
+				exec += simtime.Time(rng.Int63n(span + 1))
+			}
+			b.AddTask(id, fmt.Sprintf("%s.n%d", name, int(id-first)+1), exec)
+			layer = append(layer, id)
+			id++
+		}
+		layers = append(layers, layer)
+		remaining -= w
+	}
+	// Wire edges.
+	for li := 1; li < len(layers); li++ {
+		for _, to := range layers[li] {
+			wired := false
+			lo := li - 1
+			if cfg.LongEdges {
+				lo = 0
+			}
+			for lj := lo; lj < li; lj++ {
+				for _, from := range layers[lj] {
+					if rng.Float64() < cfg.EdgeProb {
+						b.AddDep(from, to)
+						wired = true
+					}
+				}
+			}
+			if !wired { // guarantee at least one predecessor
+				prev := layers[li-1]
+				b.AddDep(prev[rng.Intn(len(prev))], to)
+			}
+		}
+	}
+	return b.Build()
+}

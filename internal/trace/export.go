@@ -1,0 +1,169 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// traceJSON is the stable export schema; times are millisecond floats to
+// match the paper's units and stay toolable from any language.
+type traceJSON struct {
+	RUs           int         `json:"rus"`
+	LatencyMs     float64     `json:"latency_ms"`
+	Heterogeneous bool        `json:"heterogeneous,omitempty"`
+	Loads         []loadJSON  `json:"loads"`
+	Execs         []execJSON  `json:"execs"`
+	Skips         []skipJSON  `json:"skips,omitempty"`
+	Graphs        []graphJSON `json:"graphs"`
+}
+
+type loadJSON struct {
+	Task     int     `json:"task"`
+	RU       int     `json:"ru"`
+	StartMs  float64 `json:"start_ms"`
+	EndMs    float64 `json:"end_ms"`
+	Evicted  int     `json:"evicted,omitempty"`
+	Instance int     `json:"instance"`
+}
+
+type execJSON struct {
+	Task     int     `json:"task"`
+	RU       int     `json:"ru"`
+	StartMs  float64 `json:"start_ms"`
+	EndMs    float64 `json:"end_ms"`
+	Reused   bool    `json:"reused,omitempty"`
+	Instance int     `json:"instance"`
+}
+
+type skipJSON struct {
+	Task     int     `json:"task"`
+	Victim   int     `json:"victim"`
+	AtMs     float64 `json:"at_ms"`
+	Instance int     `json:"instance"`
+}
+
+type graphJSON struct {
+	Name       string  `json:"name"`
+	Instance   int     `json:"instance"`
+	ArrivedMs  float64 `json:"arrived_ms"`
+	StartedMs  float64 `json:"started_ms"`
+	FinishedMs float64 `json:"finished_ms"`
+}
+
+// MarshalJSON exports the trace for external analysis.
+func (t *Trace) MarshalJSON() ([]byte, error) {
+	out := traceJSON{
+		RUs:           t.RUs,
+		LatencyMs:     t.Latency.Ms(),
+		Heterogeneous: t.Heterogeneous,
+		Loads:         make([]loadJSON, 0, len(t.Loads)),
+		Execs:         make([]execJSON, 0, len(t.Execs)),
+		Graphs:        make([]graphJSON, 0, len(t.Graphs)),
+	}
+	for _, l := range t.Loads {
+		out.Loads = append(out.Loads, loadJSON{
+			Task: int(l.Task), RU: l.RU,
+			StartMs: l.Start.Ms(), EndMs: l.End.Ms(),
+			Evicted: int(l.Evicted), Instance: l.Instance,
+		})
+	}
+	for _, e := range t.Execs {
+		out.Execs = append(out.Execs, execJSON{
+			Task: int(e.Task), RU: e.RU,
+			StartMs: e.Start.Ms(), EndMs: e.End.Ms(),
+			Reused: e.Reused, Instance: e.Instance,
+		})
+	}
+	for _, s := range t.Skips {
+		out.Skips = append(out.Skips, skipJSON{
+			Task: int(s.Task), Victim: int(s.Victim), AtMs: s.At.Ms(), Instance: s.Instance,
+		})
+	}
+	for _, g := range t.Graphs {
+		out.Graphs = append(out.Graphs, graphJSON{
+			Name: g.Name, Instance: g.Instance,
+			ArrivedMs: g.Arrived.Ms(), StartedMs: g.Started.Ms(), FinishedMs: g.Finished.Ms(),
+		})
+	}
+	return json.Marshal(out)
+}
+
+// svg layout constants (pixels).
+const (
+	svgRowH    = 22
+	svgRowGap  = 6
+	svgLeft    = 56
+	svgRight   = 16
+	svgTop     = 28
+	svgPxPerMs = 8.0
+)
+
+// taskColor deterministically assigns one of a small palette per task.
+func taskColor(task int) string {
+	palette := []string{
+		"#4e79a7", "#f28e2b", "#59a14f", "#e15759", "#76b7b2",
+		"#edc948", "#b07aa1", "#ff9da7", "#9c755f", "#bab0ac",
+	}
+	if task < 0 {
+		task = -task
+	}
+	return palette[task%len(palette)]
+}
+
+// SVG renders the schedule as a standalone SVG document: one lane per
+// reconfigurable unit plus a lane for the reconfiguration circuitry.
+// Loads are hatched gray, executions are colored by task (reuses get a
+// bold outline), matching the visual language of the paper's figures.
+func (t *Trace) SVG() string {
+	makespan := t.Makespan()
+	for _, l := range t.Loads {
+		if l.End.After(makespan) {
+			makespan = l.End
+		}
+	}
+	lanes := t.RUs + 1
+	width := svgLeft + int(makespan.Ms()*svgPxPerMs) + svgRight
+	height := svgTop + lanes*(svgRowH+svgRowGap)
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" font-family="monospace" font-size="11">`+"\n",
+		width, height)
+	fmt.Fprintf(&b, `<text x="4" y="14">makespan %v, %d units, latency %v</text>`+"\n",
+		makespan, t.RUs, t.Latency)
+	laneY := func(lane int) int { return svgTop + lane*(svgRowH+svgRowGap) }
+	x := func(tm float64) float64 { return float64(svgLeft) + tm*svgPxPerMs }
+	// Lane labels and baselines.
+	for i := 0; i < lanes; i++ {
+		label := fmt.Sprintf("RU%d", i)
+		if i == t.RUs {
+			label = "rec"
+		}
+		y := laneY(i)
+		fmt.Fprintf(&b, `<text x="4" y="%d">%s</text>`+"\n", y+svgRowH-7, label)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="#ddd"/>`+"\n",
+			svgLeft, y+svgRowH, width-svgRight, y+svgRowH)
+	}
+	rect := func(lane int, from, to float64, fill, extra string) {
+		w := x(to) - x(from)
+		if w < 1 {
+			w = 1
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%d" width="%.1f" height="%d" fill="%s"%s/>`+"\n",
+			x(from), laneY(lane), w, svgRowH, fill, extra)
+	}
+	for _, l := range t.Loads {
+		rect(l.RU, l.Start.Ms(), l.End.Ms(), "#999", ` opacity="0.6"`)
+		rect(t.RUs, l.Start.Ms(), l.End.Ms(), "#555", ` opacity="0.8"`)
+	}
+	for _, e := range t.Execs {
+		extra := ""
+		if e.Reused {
+			extra = ` stroke="#000" stroke-width="2"`
+		}
+		rect(e.RU, e.Start.Ms(), e.End.Ms(), taskColor(int(e.Task)), extra)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%d" fill="#fff">%d</text>`+"\n",
+			x(e.Start.Ms())+3, laneY(e.RU)+svgRowH-7, e.Task)
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}

@@ -1,0 +1,70 @@
+package trace
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestTraceJSON(t *testing.T) {
+	tr := validTrace()
+	data, err := json.Marshal(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back map[string]any
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, data)
+	}
+	if back["rus"].(float64) != 2 || back["latency_ms"].(float64) != 4 {
+		t.Errorf("header wrong: %v", back)
+	}
+	loads := back["loads"].([]any)
+	if len(loads) != 2 {
+		t.Fatalf("loads = %d", len(loads))
+	}
+	first := loads[0].(map[string]any)
+	if first["task"].(float64) != 1 || first["end_ms"].(float64) != 4 {
+		t.Errorf("first load: %v", first)
+	}
+	execs := back["execs"].([]any)
+	if len(execs) != 3 {
+		t.Fatalf("execs = %d", len(execs))
+	}
+	reusedSeen := false
+	for _, e := range execs {
+		if e.(map[string]any)["reused"] == true {
+			reusedSeen = true
+		}
+	}
+	if !reusedSeen {
+		t.Error("reused flag lost in export")
+	}
+}
+
+func TestSVG(t *testing.T) {
+	tr := validTrace()
+	svg := tr.SVG()
+	for _, frag := range []string{"<svg", "</svg>", "RU0", "RU1", "rec", "makespan 20 ms", "<rect"} {
+		if !strings.Contains(svg, frag) {
+			t.Errorf("SVG missing %q", frag)
+		}
+	}
+	// Reused executions carry a bold outline.
+	if !strings.Contains(svg, `stroke-width="2"`) {
+		t.Error("reuse outline missing")
+	}
+	// Deterministic: same trace, same bytes.
+	if tr.SVG() != svg {
+		t.Error("SVG not deterministic")
+	}
+}
+
+func TestTaskColorStable(t *testing.T) {
+	if taskColor(3) != taskColor(3) {
+		t.Error("color not stable")
+	}
+	if taskColor(-3) == "" {
+		t.Error("negative task id broke palette")
+	}
+}

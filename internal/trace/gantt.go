@@ -1,0 +1,73 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/simtime"
+)
+
+// GanttOptions controls rendering of a schedule view.
+type GanttOptions struct {
+	// TickMs is the simulated time represented by one character column.
+	// Zero selects a tick that keeps the chart under ~100 columns.
+	TickMs float64
+}
+
+// Gantt renders the trace as a per-unit ASCII timeline in the style of the
+// paper's schedule figures:
+//
+//	RU0 |####111111......
+//	RU1 |....####22222222
+//	rec |####@@@@........
+//
+// '#' marks a reconfiguration occupying the unit, digits (the task ID,
+// last digit) mark execution, '*' marks execution of a reused task, '.'
+// marks idle time. The "rec" row shows the single reconfiguration
+// circuitry's busy time.
+func (t *Trace) Gantt(opt GanttOptions) string {
+	makespan := t.Makespan()
+	for _, l := range t.Loads {
+		if l.End.After(makespan) {
+			makespan = l.End
+		}
+	}
+	if makespan == 0 {
+		return "(empty trace)\n"
+	}
+	tick := simtime.FromMs(opt.TickMs)
+	if tick <= 0 {
+		tick = makespan / 100
+		if tick < simtime.Millisecond {
+			tick = simtime.Millisecond
+		}
+	}
+	cols := int((makespan + tick - 1) / tick)
+	rows := make([][]byte, t.RUs+1)
+	for i := range rows {
+		rows[i] = []byte(strings.Repeat(".", cols))
+	}
+	paint := func(row []byte, from, to simtime.Time, c byte) {
+		for i := int(from / tick); i < cols && simtime.Time(i)*tick < to; i++ {
+			row[i] = c
+		}
+	}
+	for _, l := range t.Loads {
+		paint(rows[l.RU], l.Start, l.End, '#')
+		paint(rows[t.RUs], l.Start, l.End, '@')
+	}
+	for _, e := range t.Execs {
+		c := byte('0' + int(e.Task)%10)
+		if e.Reused {
+			c = '*'
+		}
+		paint(rows[e.RU], e.Start, e.End, c)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "1 col = %v, makespan = %v\n", tick, makespan)
+	for i := 0; i < t.RUs; i++ {
+		fmt.Fprintf(&b, "RU%-2d|%s|\n", i, rows[i])
+	}
+	fmt.Fprintf(&b, "rec |%s|\n", rows[t.RUs])
+	return b.String()
+}

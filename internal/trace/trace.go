@@ -1,0 +1,278 @@
+// Package trace records what the simulated system did — every
+// reconfiguration, execution, reuse and skip — precisely enough to
+// validate the run against the architecture's physical invariants and to
+// render paper-style schedule (Gantt) views.
+package trace
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// Load is one reconfiguration performed by the circuitry.
+type Load struct {
+	Task     taskgraph.TaskID
+	RU       int
+	Start    simtime.Time
+	End      simtime.Time
+	Evicted  taskgraph.TaskID // NoTask when the unit was empty
+	Instance int              // application instance that requested it
+}
+
+// Exec is one task execution on a unit.
+type Exec struct {
+	Task     taskgraph.TaskID
+	RU       int
+	Start    simtime.Time
+	End      simtime.Time
+	Reused   bool // configuration was already resident (no load needed)
+	Instance int
+}
+
+// Skip is one skip-events decision: a reconfiguration deliberately delayed
+// to protect a reusable victim.
+type Skip struct {
+	Task     taskgraph.TaskID // task whose load was postponed
+	Victim   taskgraph.TaskID // reusable victim being protected
+	At       simtime.Time
+	Instance int
+}
+
+// Graph records one application instance's lifecycle.
+type Graph struct {
+	Name     string
+	Instance int
+	Arrived  simtime.Time // when it entered the Dynamic List
+	Started  simtime.Time // when it became the running graph
+	Finished simtime.Time // when its last task completed
+}
+
+// Trace is the full record of a run.
+type Trace struct {
+	RUs     int
+	Latency simtime.Time
+	// Heterogeneous marks runs with per-task latencies; the exact
+	// per-load duration check is skipped for them (durations come from
+	// the run configuration, not from Latency).
+	Heterogeneous bool
+	Loads         []Load
+	Execs         []Exec
+	Skips         []Skip
+	Graphs        []Graph
+}
+
+// Makespan returns the completion time of the last execution (zero for an
+// empty trace).
+func (t *Trace) Makespan() simtime.Time {
+	var m simtime.Time
+	for _, e := range t.Execs {
+		if e.End.After(m) {
+			m = e.End
+		}
+	}
+	return m
+}
+
+// Reuses counts reused executions.
+func (t *Trace) Reuses() int {
+	n := 0
+	for _, e := range t.Execs {
+		if e.Reused {
+			n++
+		}
+	}
+	return n
+}
+
+// Validate checks the trace against the architecture's invariants:
+//
+//  1. loads never overlap (single reconfiguration circuitry);
+//  2. every load takes exactly the configured latency;
+//  3. executions on one unit never overlap, nor does an execution overlap
+//     a load targeting the same unit;
+//  4. every non-reused execution is preceded by a completed load of the
+//     same task onto the same unit, with no other load to that unit in
+//     between;
+//  5. application instances execute sequentially: instance k+1's first
+//     execution starts no earlier than instance k's last completion;
+//  6. dependencies are respected: with graphs supplying the structure per
+//     instance, each task starts no earlier than all its predecessors'
+//     completions.
+//
+// graphs maps instance number → template; it may be nil to skip check 6.
+func (t *Trace) Validate(graphs map[int]*taskgraph.Graph) error {
+	if err := t.validateLoads(); err != nil {
+		return err
+	}
+	if err := t.validateUnits(); err != nil {
+		return err
+	}
+	if err := t.validateResidency(); err != nil {
+		return err
+	}
+	if err := t.validateSequentialInstances(); err != nil {
+		return err
+	}
+	if graphs != nil {
+		if err := t.validateDependencies(graphs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (t *Trace) validateLoads() error {
+	loads := append([]Load(nil), t.Loads...)
+	sort.Slice(loads, func(a, b int) bool { return loads[a].Start < loads[b].Start })
+	for i, l := range loads {
+		if !t.Heterogeneous && l.End.Sub(l.Start) != t.Latency {
+			return fmt.Errorf("trace: load of task %d takes %v, latency is %v",
+				l.Task, l.End.Sub(l.Start), t.Latency)
+		}
+		if l.End.Before(l.Start) {
+			return fmt.Errorf("trace: load of task %d ends before it starts", l.Task)
+		}
+		if l.RU < 0 || l.RU >= t.RUs {
+			return fmt.Errorf("trace: load of task %d targets unit %d of %d", l.Task, l.RU, t.RUs)
+		}
+		if i > 0 && loads[i-1].End.After(l.Start) {
+			return fmt.Errorf("trace: loads overlap: task %d [%v,%v] and task %d [%v,%v]",
+				loads[i-1].Task, loads[i-1].Start, loads[i-1].End, l.Task, l.Start, l.End)
+		}
+	}
+	return nil
+}
+
+// span is a busy interval on one unit.
+type span struct {
+	start, end simtime.Time
+	what       string
+}
+
+func (t *Trace) validateUnits() error {
+	perRU := make([][]span, t.RUs)
+	for _, e := range t.Execs {
+		if e.RU < 0 || e.RU >= t.RUs {
+			return fmt.Errorf("trace: exec of task %d on unit %d of %d", e.Task, e.RU, t.RUs)
+		}
+		if !e.End.After(e.Start) {
+			return fmt.Errorf("trace: empty exec span for task %d", e.Task)
+		}
+		perRU[e.RU] = append(perRU[e.RU], span{e.Start, e.End, fmt.Sprintf("exec %d", e.Task)})
+	}
+	for _, l := range t.Loads {
+		if l.End.After(l.Start) {
+			perRU[l.RU] = append(perRU[l.RU], span{l.Start, l.End, fmt.Sprintf("load %d", l.Task)})
+		}
+	}
+	for ruIdx, spans := range perRU {
+		sort.Slice(spans, func(a, b int) bool { return spans[a].start < spans[b].start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i-1].end.After(spans[i].start) {
+				return fmt.Errorf("trace: unit %d: %s [%v,%v] overlaps %s [%v,%v]",
+					ruIdx, spans[i-1].what, spans[i-1].start, spans[i-1].end,
+					spans[i].what, spans[i].start, spans[i].end)
+			}
+		}
+	}
+	return nil
+}
+
+func (t *Trace) validateResidency() error {
+	// Chronological unit history: what is resident when.
+	type write struct {
+		at   simtime.Time
+		task taskgraph.TaskID
+	}
+	hist := make([][]write, t.RUs)
+	loads := append([]Load(nil), t.Loads...)
+	sort.Slice(loads, func(a, b int) bool { return loads[a].End < loads[b].End })
+	for _, l := range loads {
+		hist[l.RU] = append(hist[l.RU], write{l.End, l.Task})
+	}
+	for _, e := range t.Execs {
+		// Find the latest write to e.RU at or before e.Start.
+		var cur taskgraph.TaskID
+		found := false
+		for _, w := range hist[e.RU] {
+			if w.at.After(e.Start) {
+				break
+			}
+			cur, found = w.task, true
+		}
+		if !found {
+			return fmt.Errorf("trace: task %d executed on never-loaded unit %d", e.Task, e.RU)
+		}
+		if cur != e.Task {
+			return fmt.Errorf("trace: task %d executed on unit %d while task %d resident",
+				e.Task, e.RU, cur)
+		}
+	}
+	return nil
+}
+
+func (t *Trace) validateSequentialInstances() error {
+	type bounds struct {
+		first, last simtime.Time
+		seen        bool
+	}
+	m := map[int]*bounds{}
+	maxInst := 0
+	for _, e := range t.Execs {
+		b := m[e.Instance]
+		if b == nil {
+			b = &bounds{first: e.Start, last: e.End, seen: true}
+			m[e.Instance] = b
+		} else {
+			b.first = simtime.Min(b.first, e.Start)
+			b.last = simtime.Max(b.last, e.End)
+		}
+		if e.Instance > maxInst {
+			maxInst = e.Instance
+		}
+	}
+	for i := 1; i <= maxInst; i++ {
+		prev, cur := m[i-1], m[i]
+		if prev == nil || cur == nil {
+			continue
+		}
+		if cur.first.Before(prev.last) {
+			return fmt.Errorf("trace: instance %d starts at %v before instance %d finishes at %v",
+				i, cur.first, i-1, prev.last)
+		}
+	}
+	return nil
+}
+
+func (t *Trace) validateDependencies(graphs map[int]*taskgraph.Graph) error {
+	type key struct {
+		inst int
+		task taskgraph.TaskID
+	}
+	execAt := map[key]Exec{}
+	for _, e := range t.Execs {
+		execAt[key{e.Instance, e.Task}] = e
+	}
+	for inst, g := range graphs {
+		for i := 0; i < g.NumTasks(); i++ {
+			e, ok := execAt[key{inst, g.Task(i).ID}]
+			if !ok {
+				return fmt.Errorf("trace: instance %d task %d never executed", inst, g.Task(i).ID)
+			}
+			for _, p := range g.Preds(i) {
+				pe, ok := execAt[key{inst, g.Task(p).ID}]
+				if !ok {
+					return fmt.Errorf("trace: instance %d predecessor %d never executed", inst, g.Task(p).ID)
+				}
+				if e.Start.Before(pe.End) {
+					return fmt.Errorf("trace: instance %d: task %d starts %v before predecessor %d ends %v",
+						inst, e.Task, e.Start, pe.Task, pe.End)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,198 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+func ms(v float64) simtime.Time { return simtime.FromMs(v) }
+
+// validTrace builds a small consistent trace: load 1 on RU0, exec it,
+// load 2 on RU1 during exec, exec 2 (depends on 1), then reuse 1.
+func validTrace() *Trace {
+	return &Trace{
+		RUs:     2,
+		Latency: ms(4),
+		Loads: []Load{
+			{Task: 1, RU: 0, Start: 0, End: ms(4), Instance: 0},
+			{Task: 2, RU: 1, Start: ms(4), End: ms(8), Instance: 0},
+		},
+		Execs: []Exec{
+			{Task: 1, RU: 0, Start: ms(4), End: ms(10), Instance: 0},
+			{Task: 2, RU: 1, Start: ms(10), End: ms(14), Instance: 0},
+			{Task: 1, RU: 0, Start: ms(14), End: ms(20), Reused: true, Instance: 1},
+		},
+		Graphs: []Graph{
+			{Name: "g", Instance: 0, Finished: ms(14)},
+			{Name: "g1", Instance: 1, Finished: ms(20)},
+		},
+	}
+}
+
+func TestMakespanAndReuses(t *testing.T) {
+	tr := validTrace()
+	if tr.Makespan() != ms(20) {
+		t.Errorf("Makespan = %v, want 20 ms", tr.Makespan())
+	}
+	if tr.Reuses() != 1 {
+		t.Errorf("Reuses = %d, want 1", tr.Reuses())
+	}
+	empty := &Trace{RUs: 1, Latency: ms(4)}
+	if empty.Makespan() != 0 {
+		t.Error("empty trace makespan should be 0")
+	}
+}
+
+func TestValidateOK(t *testing.T) {
+	g, err := taskgraph.NewBuilder("g").
+		AddTask(1, "a", ms(6)).
+		AddTask(2, "b", ms(4)).
+		AddDep(1, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	g1 := taskgraph.Chain("g1", 1, ms(6))
+	tr := validTrace()
+	if err := tr.Validate(map[int]*taskgraph.Graph{0: g, 1: g1}); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	if err := tr.Validate(nil); err != nil {
+		t.Errorf("nil graphs: %v", err)
+	}
+}
+
+func TestValidateCatchesOverlappingLoads(t *testing.T) {
+	tr := validTrace()
+	tr.Loads[1].Start = ms(2)
+	tr.Loads[1].End = ms(6)
+	if err := tr.Validate(nil); err == nil || !strings.Contains(err.Error(), "overlap") {
+		t.Errorf("want overlap error, got %v", err)
+	}
+}
+
+func TestValidateCatchesWrongLatency(t *testing.T) {
+	tr := validTrace()
+	tr.Loads[0].End = ms(5)
+	if err := tr.Validate(nil); err == nil || !strings.Contains(err.Error(), "latency") {
+		t.Errorf("want latency error, got %v", err)
+	}
+}
+
+func TestValidateCatchesUnitOverlap(t *testing.T) {
+	tr := validTrace()
+	// Make exec of task 2 overlap the load of task 2 on the same unit.
+	tr.Execs[1].Start = ms(6)
+	if err := tr.Validate(nil); err == nil || !strings.Contains(err.Error(), "overlaps") {
+		t.Errorf("want unit overlap error, got %v", err)
+	}
+}
+
+func TestValidateCatchesGhostExecution(t *testing.T) {
+	tr := validTrace()
+	tr.Execs = append(tr.Execs, Exec{Task: 9, RU: 0, Start: ms(30), End: ms(31), Instance: 1})
+	err := tr.Validate(nil)
+	if err == nil || !strings.Contains(err.Error(), "while task") {
+		t.Errorf("want residency error, got %v", err)
+	}
+}
+
+func TestValidateCatchesNeverLoadedUnit(t *testing.T) {
+	tr := &Trace{
+		RUs: 1, Latency: ms(4),
+		Execs: []Exec{{Task: 1, RU: 0, Start: 0, End: ms(1)}},
+	}
+	err := tr.Validate(nil)
+	if err == nil || !strings.Contains(err.Error(), "never-loaded") {
+		t.Errorf("want never-loaded error, got %v", err)
+	}
+}
+
+func TestValidateCatchesInstanceOverlap(t *testing.T) {
+	tr := validTrace()
+	tr.Execs[2].Start = ms(12) // instance 1 starts before instance 0 done
+	tr.Execs[2].End = ms(18)
+	err := tr.Validate(nil)
+	if err == nil || !strings.Contains(err.Error(), "before instance") {
+		t.Errorf("want sequencing error, got %v", err)
+	}
+}
+
+func TestValidateCatchesDependencyViolation(t *testing.T) {
+	g, err := taskgraph.NewBuilder("g").
+		AddTask(1, "a", ms(6)).
+		AddTask(2, "b", ms(4)).
+		AddDep(2, 1). // reversed: 1 depends on 2
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := validTrace()
+	tr.Execs = tr.Execs[:2] // drop instance 1
+	tr.Graphs = tr.Graphs[:1]
+	err = tr.Validate(map[int]*taskgraph.Graph{0: g})
+	if err == nil || !strings.Contains(err.Error(), "predecessor") {
+		t.Errorf("want dependency error, got %v", err)
+	}
+}
+
+func TestValidateCatchesMissingExecution(t *testing.T) {
+	g := taskgraph.Chain("g", 1, ms(6), ms(4), ms(2))
+	tr := validTrace()
+	err := tr.Validate(map[int]*taskgraph.Graph{0: g})
+	if err == nil || !strings.Contains(err.Error(), "never executed") {
+		t.Errorf("want never-executed error, got %v", err)
+	}
+}
+
+func TestValidateCatchesBadRU(t *testing.T) {
+	tr := validTrace()
+	tr.Loads[0].RU = 5
+	if err := tr.Validate(nil); err == nil {
+		t.Error("out-of-range load unit accepted")
+	}
+	tr = validTrace()
+	tr.Execs[0].RU = -1
+	if err := tr.Validate(nil); err == nil {
+		t.Error("out-of-range exec unit accepted")
+	}
+}
+
+func TestValidateCatchesEmptyExec(t *testing.T) {
+	tr := validTrace()
+	tr.Execs[0].End = tr.Execs[0].Start
+	if err := tr.Validate(nil); err == nil || !strings.Contains(err.Error(), "empty exec") {
+		t.Errorf("want empty-exec error, got %v", err)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	tr := validTrace()
+	g := tr.Gantt(GanttOptions{TickMs: 1})
+	if !strings.Contains(g, "RU0 |") || !strings.Contains(g, "rec |") {
+		t.Errorf("missing rows:\n%s", g)
+	}
+	if !strings.Contains(g, "#") {
+		t.Errorf("no load marks:\n%s", g)
+	}
+	if !strings.Contains(g, "*") {
+		t.Errorf("no reuse marks:\n%s", g)
+	}
+	if !strings.Contains(g, "1") || !strings.Contains(g, "2") {
+		t.Errorf("no exec marks:\n%s", g)
+	}
+	empty := &Trace{RUs: 1, Latency: ms(4)}
+	if !strings.Contains(empty.Gantt(GanttOptions{}), "empty") {
+		t.Error("empty trace rendering")
+	}
+	// Auto tick selection should cap width around 100 columns.
+	wide := tr.Gantt(GanttOptions{})
+	for _, line := range strings.Split(wide, "\n") {
+		if len(line) > 130 {
+			t.Errorf("line too wide: %d chars", len(line))
+		}
+	}
+}

@@ -1,0 +1,68 @@
+package workload
+
+import (
+	"fmt"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// BitstreamBytes returns per-task configuration sizes for the multimedia
+// benchmarks. The paper assumes equal-sized reconfigurable units, so all
+// bitstreams are the same order of magnitude; sizes here scale gently
+// with the computational weight of each stage (a heavier kernel uses more
+// of its region). These feed both the energy model
+// (metrics.EnergyModel.BitstreamBytes) and the heterogeneous-latency
+// extension (LatencyFromBitstreams).
+func BitstreamBytes() map[taskgraph.TaskID]int {
+	const kib = 1 << 10
+	return map[taskgraph.TaskID]int{
+		// JPEG decoder
+		11: 240 * kib, // vld
+		12: 220 * kib, // iqzz
+		13: 360 * kib, // idct
+		14: 260 * kib, // cc
+		// MPEG-1 encoder
+		21: 340 * kib, // me
+		22: 240 * kib, // mc
+		23: 300 * kib, // dct
+		24: 200 * kib, // q
+		25: 260 * kib, // vlc
+		// Hough
+		31: 260 * kib, // smooth
+		32: 240 * kib, // gradx
+		33: 240 * kib, // grady
+		34: 260 * kib, // magn
+		35: 380 * kib, // hough
+		36: 280 * kib, // peaks
+	}
+}
+
+// LatencyFromBitstreams derives per-task reconfiguration latencies from
+// bitstream sizes and a configuration-port bandwidth (bytes per
+// millisecond). With the default sizes, 75 KiB/ms makes the average
+// latency land at the paper's 4 ms.
+func LatencyFromBitstreams(sizes map[taskgraph.TaskID]int, bytesPerMs int) (func(taskgraph.TaskID) simtime.Time, error) {
+	if bytesPerMs <= 0 {
+		return nil, fmt.Errorf("workload: non-positive configuration bandwidth %d", bytesPerMs)
+	}
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("workload: empty bitstream size map")
+	}
+	return func(id taskgraph.TaskID) simtime.Time {
+		b, ok := sizes[id]
+		if !ok {
+			// Unknown tasks fall back to the mean size.
+			total := 0
+			for _, v := range sizes {
+				total += v
+			}
+			b = total / len(sizes)
+		}
+		return simtime.FromMs(float64(b) / float64(bytesPerMs))
+	}, nil
+}
+
+// DefaultConfigBandwidth is the configuration-port bandwidth (bytes/ms)
+// that puts the mean multimedia bitstream at the paper's 4 ms latency.
+const DefaultConfigBandwidth = 68 << 10

@@ -1,0 +1,67 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+func TestBitstreamCoversUniverse(t *testing.T) {
+	sizes := BitstreamBytes()
+	for _, g := range Multimedia() {
+		for _, task := range g.Tasks() {
+			b, ok := sizes[task.ID]
+			if !ok {
+				t.Errorf("task %d (%s) has no bitstream size", task.ID, task.Name)
+				continue
+			}
+			if b < 100<<10 || b > 1<<20 {
+				t.Errorf("task %d bitstream %d bytes outside plausible partial-bitstream range", task.ID, b)
+			}
+		}
+	}
+	if len(sizes) != 15 {
+		t.Errorf("sizes cover %d tasks, want 15", len(sizes))
+	}
+}
+
+func TestLatencyFromBitstreams(t *testing.T) {
+	lat, err := LatencyFromBitstreams(BitstreamBytes(), DefaultConfigBandwidth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean latency across the universe should sit at the paper's 4 ms.
+	var total simtime.Time
+	n := 0
+	for id := range BitstreamBytes() {
+		l := lat(id)
+		if l <= 0 {
+			t.Errorf("task %d latency %v", id, l)
+		}
+		total += l
+		n++
+	}
+	mean := total / simtime.Time(n)
+	if mean < simtime.FromMs(3.9) || mean > simtime.FromMs(4.1) {
+		t.Errorf("mean latency = %v, want ≈4 ms", mean)
+	}
+	// Heavier kernels take longer.
+	if lat(35) <= lat(24) {
+		t.Errorf("hough (35) %v should exceed q (24) %v", lat(35), lat(24))
+	}
+	// Unknown tasks fall back to the mean size.
+	unknown := lat(taskgraph.TaskID(999))
+	if unknown < simtime.FromMs(3.5) || unknown > simtime.FromMs(4.5) {
+		t.Errorf("fallback latency = %v, want ≈4 ms", unknown)
+	}
+}
+
+func TestLatencyFromBitstreamsValidation(t *testing.T) {
+	if _, err := LatencyFromBitstreams(BitstreamBytes(), 0); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	if _, err := LatencyFromBitstreams(nil, 100); err == nil {
+		t.Error("empty size map accepted")
+	}
+}

@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// TestPaperNodeCounts: the paper states the JPEG, MPEG-1 and Hough graphs
+// have 4, 5 and 6 nodes — fifteen distinct tasks in total.
+func TestPaperNodeCounts(t *testing.T) {
+	if n := JPEG().NumTasks(); n != 4 {
+		t.Errorf("JPEG nodes = %d, want 4", n)
+	}
+	if n := MPEG1().NumTasks(); n != 5 {
+		t.Errorf("MPEG-1 nodes = %d, want 5", n)
+	}
+	if n := Hough().NumTasks(); n != 6 {
+		t.Errorf("Hough nodes = %d, want 6", n)
+	}
+	if n := UniverseSize(Multimedia()); n != 15 {
+		t.Errorf("task universe = %d, want 15", n)
+	}
+}
+
+// TestPaperInitialExecutionTimes: Table II column 2 gives the initial
+// (no-overhead) execution times: 79, 37 and 94 ms.
+func TestPaperInitialExecutionTimes(t *testing.T) {
+	cases := []struct {
+		g    *taskgraph.Graph
+		want simtime.Time
+	}{
+		{JPEG(), simtime.FromMs(79)},
+		{MPEG1(), simtime.FromMs(37)},
+		{Hough(), simtime.FromMs(94)},
+	}
+	for _, tt := range cases {
+		if got := tt.g.CriticalPath(); got != tt.want {
+			t.Errorf("%s critical path = %v, want %v", tt.g.Name(), got, tt.want)
+		}
+	}
+}
+
+func TestFig2Graphs(t *testing.T) {
+	tg1, tg2 := Fig2TG1(), Fig2TG2()
+	if tg1.NumTasks() != 3 || tg2.NumTasks() != 2 {
+		t.Fatalf("node counts: %d, %d", tg1.NumTasks(), tg2.NumTasks())
+	}
+	if tg1.CriticalPath() != simtime.FromMs(9) {
+		t.Errorf("TG1 critical path = %v, want 9 ms", tg1.CriticalPath())
+	}
+	if tg2.CriticalPath() != simtime.FromMs(8) {
+		t.Errorf("TG2 critical path = %v, want 8 ms", tg2.CriticalPath())
+	}
+	seq := Fig2Sequence()
+	if len(seq) != 5 {
+		t.Fatalf("sequence length = %d, want 5", len(seq))
+	}
+	total := 0
+	for _, g := range seq {
+		total += g.NumTasks()
+	}
+	if total != 12 {
+		t.Errorf("total executions = %d, want 12", total)
+	}
+	if seq[0] != seq[3] || seq[1] != seq[2] || seq[1] != seq[4] {
+		t.Error("sequence must share templates for reuse to be possible")
+	}
+}
+
+func TestFig3Graphs(t *testing.T) {
+	tg1, tg2 := Fig3TG1(), Fig3TG2()
+	if tg1.CriticalPath() != simtime.FromMs(18) {
+		t.Errorf("TG1 critical path = %v, want 18 ms", tg1.CriticalPath())
+	}
+	if tg2.CriticalPath() != simtime.FromMs(26) {
+		t.Errorf("TG2 critical path = %v, want 26 ms", tg2.CriticalPath())
+	}
+	seq := Fig3Sequence()
+	total := 0
+	for _, g := range seq {
+		total += g.NumTasks()
+	}
+	if total != 10 {
+		t.Errorf("total executions = %d, want 10 (paper: '7 out of 10 hidden')", total)
+	}
+}
+
+func TestValidateUniverse(t *testing.T) {
+	if err := ValidateUniverse(Multimedia()); err != nil {
+		t.Errorf("multimedia pool invalid: %v", err)
+	}
+	// Repeating the same template is fine.
+	j := JPEG()
+	if err := ValidateUniverse([]*taskgraph.Graph{j, j, j}); err != nil {
+		t.Errorf("repeated template rejected: %v", err)
+	}
+	// Two *distinct* templates with overlapping IDs must be rejected:
+	// Fig. 2 and Fig. 3 families share small IDs.
+	if err := ValidateUniverse([]*taskgraph.Graph{Fig2TG1(), Fig3TG1()}); err == nil {
+		t.Error("ID collision not detected")
+	}
+	if err := ValidateUniverse([]*taskgraph.Graph{nil}); err == nil {
+		t.Error("nil graph not detected")
+	}
+}
+
+func TestHoughHasParallelBranch(t *testing.T) {
+	if w := Hough().Width(); w < 2 {
+		t.Errorf("Hough width = %d, want ≥ 2 (gradient filters run in parallel)", w)
+	}
+}
+
+func TestPaperLatency(t *testing.T) {
+	if PaperLatency() != simtime.FromMs(4) {
+		t.Errorf("PaperLatency = %v, want 4 ms", PaperLatency())
+	}
+}
