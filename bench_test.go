@@ -18,6 +18,7 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/policy"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
@@ -123,6 +124,91 @@ func BenchmarkFig9Run(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				if _, err := manager.Run(cfg, dynlist.NewSequence(seq...)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// --- Fig. 9 sweep: sequential vs parallel executor --------------------------
+
+// fig9SweepSpec is the Fig. 9b grid (four policy series across the unit
+// sweep) as a declarative sweep Spec.
+func fig9SweepSpec(b *testing.B, pool, seq []*taskgraph.Graph) sweep.Spec {
+	b.Helper()
+	return sweep.Spec{
+		Workloads: []sweep.Workload{{Pool: pool, Seq: seq}},
+		RUs:       experiments.DefaultOptions().RUs,
+		Latencies: []simtime.Time{workload.PaperLatency()},
+		Policies: []sweep.PolicySpec{
+			sweep.Fixed("LRU", policy.NewLRU()),
+			sweep.LocalLFD(1, false),
+			sweep.LocalLFD(1, true),
+			sweep.Fixed("LFD", policy.NewLFD()),
+		},
+	}
+}
+
+// BenchmarkFig9Sweep measures regenerating the whole Fig. 9b grid —
+// 4 policy series × 7 unit counts — sequentially (Workers=1) and on the
+// parallel executor (one worker per CPU). The design-time mobility cache
+// is warmed first so both variants measure pure simulation throughput;
+// on an N-core host the parallel variant should approach N× (the
+// acceptance bar is ≥2× on ≥4 cores). The result-collection order is
+// byte-identical either way — see TestParallelReportsByteIdentical.
+func BenchmarkFig9Sweep(b *testing.B) {
+	pool, seq := fig9Workload(b)
+	spec := fig9SweepSpec(b, pool, seq)
+	// Warm the shared design-time cache so the measurement isolates the
+	// executor (the first Run would otherwise pay the one-off mobility
+	// computation and skew the smaller b.N runs).
+	if _, err := (sweep.Executor{}).Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"Sequential", 1},
+		{"Parallel", 0}, // one worker per CPU
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ex := sweep.Executor{Workers: bc.workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				rs, err := ex.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(rs.Results) != spec.Size() {
+					b.Fatalf("%d results for %d scenarios", len(rs.Results), spec.Size())
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig9SweepColdCache includes the design-time phase: each
+// iteration flushes the process-wide mobility cache, so the measurement
+// covers what a fresh process pays for the full grid. The parallel
+// variant overlaps the mobility computations across unit counts too.
+func BenchmarkFig9SweepColdCache(b *testing.B) {
+	pool, seq := fig9Workload(b)
+	spec := fig9SweepSpec(b, pool, seq)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"Sequential", 1},
+		{"Parallel", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ex := sweep.Executor{Workers: bc.workers}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				mobility.FlushCache()
+				if _, err := ex.Run(spec); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -12,48 +12,41 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"repro/internal/experiments"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 )
 
 func main() {
 	var (
-		only    = flag.String("only", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs(), ", "))
-		seed    = flag.Int64("seed", 2011, "workload generation seed")
-		apps    = flag.Int("apps", 500, "number of applications in the Fig. 9 workload")
-		rus     = flag.String("rus", "4-10", "reconfigurable-unit sweep, e.g. \"4-10\" or \"3,4,6\"")
-		latency = flag.Float64("latency", 4, "reconfiguration latency in ms")
-		csv     = flag.Bool("csv", false, "also emit CSV after each figure table")
+		only     = flag.String("only", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs(), ", "))
+		seed     = flag.Int64("seed", 2011, "workload generation seed")
+		apps     = flag.Int("apps", 500, "number of applications in the Fig. 9 workload")
+		rus      = flag.String("rus", "4-10", "reconfigurable-unit sweep, e.g. \"4-10\" or \"3,4,6\"")
+		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
+		csv      = flag.Bool("csv", false, "also emit CSV after each figure table")
+		parallel = flag.Int("parallel", 0, "concurrently simulated scenarios per experiment (0 = one per CPU; reports are identical at any setting)")
 	)
 	flag.Parse()
 
-	sweep, err := parseRUs(*rus)
+	units, err := sweep.ParseRUs(*rus)
 	if err != nil {
 		fatal(err)
 	}
 	opt := experiments.Options{
-		Seed:    *seed,
-		Apps:    *apps,
-		RUs:     sweep,
-		Latency: simtime.FromMs(*latency),
-		CSV:     *csv,
+		Seed:     *seed,
+		Apps:     *apps,
+		RUs:      units,
+		Latency:  simtime.FromMs(*latency),
+		CSV:      *csv,
+		Parallel: *parallel,
 	}
 
-	var selected []experiments.Experiment
-	if *only == "" {
-		selected = experiments.All()
-	} else {
-		for _, id := range strings.Split(*only, ",") {
-			id = strings.TrimSpace(id)
-			e, ok := experiments.ByID(id)
-			if !ok {
-				fatal(fmt.Errorf("unknown experiment %q; known: %s", id, strings.Join(experiments.IDs(), ", ")))
-			}
-			selected = append(selected, e)
-		}
+	selected, err := selectExperiments(*only)
+	if err != nil {
+		fatal(err)
 	}
 
 	fmt.Printf("reproduction suite: seed %d, %d apps, RUs %v, latency %v\n",
@@ -65,33 +58,21 @@ func main() {
 	}
 }
 
-// parseRUs accepts "4-10" ranges and "3,4,6" lists.
-func parseRUs(s string) ([]int, error) {
-	s = strings.TrimSpace(s)
-	if from, to, ok := strings.Cut(s, "-"); ok {
-		lo, err1 := strconv.Atoi(strings.TrimSpace(from))
-		hi, err2 := strconv.Atoi(strings.TrimSpace(to))
-		if err1 != nil || err2 != nil || lo < 1 || hi < lo {
-			return nil, fmt.Errorf("bad RU range %q", s)
-		}
-		var out []int
-		for r := lo; r <= hi; r++ {
-			out = append(out, r)
-		}
-		return out, nil
+// selectExperiments resolves the -only flag: empty means the full suite.
+func selectExperiments(only string) ([]experiments.Experiment, error) {
+	if only == "" {
+		return experiments.All(), nil
 	}
-	var out []int
-	for _, part := range strings.Split(s, ",") {
-		r, err := strconv.Atoi(strings.TrimSpace(part))
-		if err != nil || r < 1 {
-			return nil, fmt.Errorf("bad RU count %q", part)
+	var selected []experiments.Experiment
+	for _, id := range strings.Split(only, ",") {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q; known: %s", id, strings.Join(experiments.IDs(), ", "))
 		}
-		out = append(out, r)
+		selected = append(selected, e)
 	}
-	if len(out) == 0 {
-		return nil, fmt.Errorf("empty RU list %q", s)
-	}
-	return out, nil
+	return selected, nil
 }
 
 func fatal(err error) {

@@ -1,43 +1,28 @@
 package main
 
-import "testing"
+import (
+	"testing"
 
-func TestParseRUs(t *testing.T) {
-	cases := []struct {
-		in      string
-		want    []int
-		wantErr bool
-	}{
-		{"4-10", []int{4, 5, 6, 7, 8, 9, 10}, false},
-		{"3-3", []int{3}, false},
-		{" 4 - 6 ", []int{4, 5, 6}, false},
-		{"3,5,9", []int{3, 5, 9}, false},
-		{"7", []int{7}, false},
-		{"10-4", nil, true},
-		{"0-3", nil, true},
-		{"a-b", nil, true},
-		{"4,x", nil, true},
-		{"", nil, true},
-		{"-2", nil, true},
+	"repro/internal/experiments"
+)
+
+func TestSelectExperiments(t *testing.T) {
+	all, err := selectExperiments("")
+	if err != nil {
+		t.Fatal(err)
 	}
-	for _, tt := range cases {
-		got, err := parseRUs(tt.in)
-		if (err != nil) != tt.wantErr {
-			t.Errorf("parseRUs(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
-			continue
-		}
-		if err != nil {
-			continue
-		}
-		if len(got) != len(tt.want) {
-			t.Errorf("parseRUs(%q) = %v, want %v", tt.in, got, tt.want)
-			continue
-		}
-		for i := range tt.want {
-			if got[i] != tt.want[i] {
-				t.Errorf("parseRUs(%q) = %v, want %v", tt.in, got, tt.want)
-				break
-			}
-		}
+	if len(all) != len(experiments.All()) {
+		t.Errorf("empty -only selected %d experiments, want the full suite (%d)",
+			len(all), len(experiments.All()))
+	}
+	some, err := selectExperiments(" fig2 ,fig9a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(some) != 2 || some[0].ID != "fig2" || some[1].ID != "fig9a" {
+		t.Errorf("selected %v", some)
+	}
+	if _, err := selectExperiments("fig2,nope"); err == nil {
+		t.Error("unknown experiment id accepted")
 	}
 }

@@ -6,6 +6,12 @@
 //	rtrsim -workload fig2 -policy lfd -gantt
 //	rtrsim -workload multimedia -apps 200 -policy locallfd:2 -skip -rus 4
 //	rtrsim -workload fig3 -policy locallfd:1 -skip -gantt
+//
+// Passing several policies and/or several unit counts turns the run into
+// a sweep executed on the parallel scenario executor (one worker per CPU
+// unless -parallel says otherwise), reported as a comparison table:
+//
+//	rtrsim -policy lru,locallfd:1,lfd -rus 4-10 -parallel 8
 package main
 
 import (
@@ -18,7 +24,9 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynlist"
 	"repro/internal/metrics"
+	"repro/internal/policy"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
 	"repro/internal/workload"
@@ -29,29 +37,72 @@ func main() {
 		wl       = flag.String("workload", "multimedia", "workload: fig2, fig3, or multimedia")
 		apps     = flag.Int("apps", 500, "sequence length for the multimedia workload")
 		seed     = flag.Int64("seed", 2011, "sequence seed for the multimedia workload")
-		pol      = flag.String("policy", "locallfd:1", "replacement policy (lru, mru, fifo, random[:seed], lfd, locallfd:<w>)")
-		rus      = flag.Int("rus", 4, "number of reconfigurable units")
+		pol      = flag.String("policy", "locallfd:1", "replacement policy (lru, mru, fifo, random[:seed], lfd, locallfd:<w>); a comma list sweeps them")
+		rus      = flag.String("rus", "4", "number of reconfigurable units; a range (\"4-10\") or list (\"4,6\") sweeps them")
 		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
 		skip     = flag.Bool("skip", false, "enable skip events (hybrid design-time/run-time technique)")
 		prefetch = flag.Bool("prefetch", false, "enable the cross-graph prefetch extension")
-		gantt    = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart")
+		parallel = flag.Int("parallel", 0, "concurrently simulated sweep scenarios (0 = one per CPU)")
+		gantt    = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart (single run only)")
 		tick     = flag.Float64("tick", 0, "Gantt: ms per column (0 = auto)")
-		svgOut   = flag.String("svg", "", "write the schedule as SVG to this file")
-		traceOut = flag.String("trace", "", "write the execution trace as JSON to this file")
+		svgOut   = flag.String("svg", "", "write the schedule as SVG to this file (single run only)")
+		traceOut = flag.String("trace", "", "write the execution trace as JSON to this file (single run only)")
 	)
 	flag.Parse()
 
+	units, err := sweep.ParseRUs(*rus)
+	if err != nil {
+		fatal(err)
+	}
+	policies, err := sweep.ParsePolicies(*pol, *skip)
+	if err != nil {
+		fatal(err)
+	}
 	seq, err := buildWorkload(*wl, *apps, *seed)
 	if err != nil {
 		fatal(err)
 	}
-	needTrace := *gantt || *svgOut != "" || *traceOut != ""
+
+	if len(units) == 1 && len(policies) == 1 {
+		pol, err := policies[0].New()
+		if err != nil {
+			fatal(err)
+		}
+		runSingle(*wl, seq, singleOptions{
+			policy: pol, rus: units[0], latency: simtime.FromMs(*latency),
+			skip: *skip, prefetch: *prefetch,
+			gantt: *gantt, tick: *tick, svgOut: *svgOut, traceOut: *traceOut,
+		})
+		return
+	}
+	if *gantt || *svgOut != "" || *traceOut != "" {
+		fatal(fmt.Errorf("-gantt/-svg/-trace need a single scenario; got %d policies × %d unit counts",
+			len(policies), len(units)))
+	}
+	runSweep(*wl, seq, units, policies, simtime.FromMs(*latency), *prefetch, *parallel)
+}
+
+type singleOptions struct {
+	policy         policy.Policy
+	rus            int
+	latency        simtime.Time
+	skip, prefetch bool
+	gantt          bool
+	tick           float64
+	svgOut         string
+	traceOut       string
+}
+
+// runSingle is the classic one-scenario path with the full metric report
+// and the optional schedule views.
+func runSingle(wl string, seq []*taskgraph.Graph, o singleOptions) {
+	needTrace := o.gantt || o.svgOut != "" || o.traceOut != ""
 	res, err := core.Evaluate(core.Config{
-		RUs:                *rus,
-		Latency:            simtime.FromMs(*latency),
-		Policy:             *pol,
-		SkipEvents:         *skip,
-		CrossGraphPrefetch: *prefetch,
+		RUs:                o.rus,
+		Latency:            o.latency,
+		Policy:             o.policy,
+		SkipEvents:         o.skip,
+		CrossGraphPrefetch: o.prefetch,
 		RecordTrace:        needTrace,
 	}, seq...)
 	if err != nil {
@@ -59,10 +110,10 @@ func main() {
 	}
 
 	s := res.Summary
-	fmt.Printf("workload        %s (%d applications, %d task executions)\n", *wl, len(seq), s.Executed)
+	fmt.Printf("workload        %s (%d applications, %d task executions)\n", wl, len(seq), s.Executed)
 	fmt.Printf("system          %d RUs, latency %v\n", s.RUs, s.Latency)
 	name := s.PolicyName
-	if *skip {
+	if o.skip {
 		name += " + Skip Events"
 	}
 	fmt.Printf("policy          %s\n", name)
@@ -75,25 +126,59 @@ func main() {
 	if d, err := metrics.Delays(res.Run, res.Ideal); err == nil && d.Count > 0 {
 		fmt.Printf("per-app delay   mean %v, p50 %v, p95 %v, max %v\n", d.Mean, d.P50, d.P95, d.Max)
 	}
-	if *gantt {
+	if o.gantt {
 		fmt.Println()
-		fmt.Print(res.Run.Trace.Gantt(trace.GanttOptions{TickMs: *tick}))
+		fmt.Print(res.Run.Trace.Gantt(trace.GanttOptions{TickMs: o.tick}))
 	}
-	if *svgOut != "" {
-		if err := os.WriteFile(*svgOut, []byte(res.Run.Trace.SVG()), 0o644); err != nil {
+	if o.svgOut != "" {
+		if err := os.WriteFile(o.svgOut, []byte(res.Run.Trace.SVG()), 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("schedule SVG    %s\n", *svgOut)
+		fmt.Printf("schedule SVG    %s\n", o.svgOut)
 	}
-	if *traceOut != "" {
+	if o.traceOut != "" {
 		data, err := json.MarshalIndent(res.Run.Trace, "", " ")
 		if err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*traceOut, data, 0o644); err != nil {
+		if err := os.WriteFile(o.traceOut, data, 0o644); err != nil {
 			fatal(err)
 		}
-		fmt.Printf("trace JSON      %s\n", *traceOut)
+		fmt.Printf("trace JSON      %s\n", o.traceOut)
+	}
+}
+
+// runSweep executes the policies × unit-counts grid on the parallel
+// executor and prints one comparison row per scenario, in spec order.
+func runSweep(wl string, seq []*taskgraph.Graph, units []int, policies []sweep.PolicySpec,
+	latency simtime.Time, prefetch bool, parallel int) {
+
+	if prefetch {
+		for i := range policies {
+			policies[i].CrossGraphPrefetch = true
+		}
+	}
+	rs, err := sweep.Executor{Workers: parallel}.Run(sweep.Spec{
+		Workloads: []sweep.Workload{{Seq: seq}},
+		RUs:       units,
+		Latencies: []simtime.Time{latency},
+		Policies:  policies,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload        %s (%d applications), latency %v, %d scenarios\n",
+		wl, len(seq), latency, rs.Spec.Size())
+	fmt.Printf("%-30s %4s %10s %14s %12s %8s %8s\n",
+		"policy", "RUs", "reuse %", "makespan", "remaining %", "loads", "skips")
+	for ri, r := range units {
+		for pi := range policies {
+			res := rs.At(0, ri, 0, pi)
+			s := res.Summary
+			fmt.Printf("%-30s %4d %10.2f %14v %12.2f %8d %8d\n",
+				s.PolicyName, r, s.ReuseRate(), s.Makespan, s.RemainingOverheadPct(),
+				s.Loads, res.Run.Skips)
+		}
 	}
 }
 

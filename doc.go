@@ -20,8 +20,13 @@
 //   - internal/manager — the event-triggered execution manager (paper
 //     Fig. 4) with the replacement module (Fig. 8).
 //   - internal/policy — LRU, FIFO, MRU, Random, LFD and Local LFD.
-//   - internal/mobility — the design-time phase (Fig. 6).
-//   - internal/experiments — regenerates every table and figure.
+//   - internal/mobility — the design-time phase (Fig. 6), with a
+//     process-wide memoized table cache keyed by (template, RUs, latency).
+//   - internal/sweep — the parallel scenario executor: declarative
+//     policy × RUs × latency × workload grids run on a bounded worker
+//     pool with deterministic, spec-order results.
+//   - internal/experiments — regenerates every table and figure, each
+//     grid experiment as one sweep Spec.
 //
 // The benchmarks in bench_test.go regenerate the paper's measured tables;
 // cmd/rtrrepro prints the full evaluation. See README.md, DESIGN.md and

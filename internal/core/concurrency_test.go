@@ -1,0 +1,92 @@
+package core
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+// TestConcurrentRunsShareOneSystem drives one skip-events System from
+// several goroutines; under -race this exercises the prepared-table view,
+// the shared mobility cache and the concurrent ideal baseline.
+func TestConcurrentRunsShareOneSystem(t *testing.T) {
+	sys, err := NewSystem(Config{
+		RUs:        4,
+		Latency:    workload.PaperLatency(),
+		Policy:     "locallfd:1",
+		SkipEvents: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := workload.Fig3Sequence()
+	const runs = 8
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := sys.Run(seq...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < runs; i++ {
+		if results[i] == nil || results[0] == nil {
+			t.Fatal("missing result")
+		}
+		if !reflect.DeepEqual(results[i].Summary, results[0].Summary) {
+			t.Errorf("run %d diverged: %+v vs %+v", i, results[i].Summary, results[0].Summary)
+		}
+	}
+}
+
+// TestRandomPolicyForkedPerRun checks the stateful Random policy never
+// crosses goroutines: every simulation — the real/ideal pair inside one
+// Run, and overlapping Runs on one System — gets a fork replaying the
+// seed's decision stream, so concurrent results are also reproducible.
+func TestRandomPolicyForkedPerRun(t *testing.T) {
+	sys, err := NewSystem(Config{
+		RUs:     4,
+		Latency: workload.PaperLatency(),
+		Policy:  "random:7",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := workload.Fig2Sequence()
+	const runs = 6
+	results := make([]*Result, runs)
+	var wg sync.WaitGroup
+	for i := 0; i < runs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			res, err := sys.Run(seq...)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[i] = res
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if res == nil {
+			t.Fatal("missing result")
+		}
+		if res.Run.Makespan.Before(res.Ideal.Makespan) {
+			t.Errorf("run %d: real makespan %v beats ideal %v", i, res.Run.Makespan, res.Ideal.Makespan)
+		}
+		if !reflect.DeepEqual(res.Summary, results[0].Summary) {
+			t.Errorf("run %d diverged from run 0 despite the per-run fork", i)
+		}
+	}
+}

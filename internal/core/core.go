@@ -19,12 +19,19 @@
 //	fmt.Println(res.Summary)
 //
 // Run executes the workload twice — once for real and once with zero
-// reconfiguration latency — so every result carries the paper's overhead
-// metrics alongside the raw counters.
+// reconfiguration latency, the two simulations running concurrently — so
+// every result carries the paper's overhead metrics alongside the raw
+// counters.
+//
+// Design-time mobility tables are served from the process-wide memoized
+// cache in internal/mobility, keyed by (template, RUs, latency): Systems
+// with the same platform configuration share one table per template
+// instead of each recomputing it. A System is safe for concurrent use.
 package core
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/dynlist"
 	"repro/internal/manager"
@@ -57,8 +64,14 @@ type Config struct {
 
 // System is a configured platform ready to execute workloads.
 type System struct {
-	cfg    Config
-	pol    policy.Policy
+	cfg Config
+	pol policy.Policy
+
+	// tables is the System's view of the prepared templates. The tables
+	// themselves live in the process-wide mobility cache and are shared
+	// with every other System (and sweep scenario) using the same
+	// (template, RUs, latency) triple.
+	mu     sync.Mutex
 	tables map[*taskgraph.Graph]*mobility.Table
 }
 
@@ -96,26 +109,37 @@ func NewSystem(cfg Config) (*System, error) {
 func (s *System) Policy() policy.Policy { return s.pol }
 
 // Prepare runs the design-time phase (mobility calculation, Fig. 6) for
-// each distinct template. It is idempotent per template.
+// each distinct template. It is idempotent per template, and memoized
+// process-wide: a template another System (or a sweep) already prepared
+// under the same platform configuration is served from the shared cache.
 func (s *System) Prepare(graphs ...*taskgraph.Graph) error {
 	for _, g := range graphs {
 		if g == nil {
 			return fmt.Errorf("core: nil graph in Prepare")
 		}
-		if _, done := s.tables[g]; done {
+		s.mu.Lock()
+		_, done := s.tables[g]
+		s.mu.Unlock()
+		if done {
 			continue
 		}
-		t, err := mobility.Compute(g, s.cfg.RUs, s.cfg.Latency)
+		// mobility.Cached single-flights concurrent callers, so parallel
+		// Prepares of one template compute it once.
+		t, err := mobility.Cached(g, s.cfg.RUs, s.cfg.Latency)
 		if err != nil {
 			return fmt.Errorf("core: design-time phase for %s: %w", g.Name(), err)
 		}
+		s.mu.Lock()
 		s.tables[g] = t
+		s.mu.Unlock()
 	}
 	return nil
 }
 
 // MobilityTable returns the design-time table for a prepared template.
 func (s *System) MobilityTable(g *taskgraph.Graph) (*mobility.Table, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
 	t, ok := s.tables[g]
 	return t, ok
 }
@@ -139,7 +163,8 @@ func (s *System) Run(seq ...*taskgraph.Graph) (*Result, error) {
 
 // RunFeed executes an arbitrary arrival feed. Because a Feed can only be
 // consumed once, the caller supplies a constructor so the ideal baseline
-// can replay the same arrivals.
+// can replay the same arrivals. The real run and the baseline execute
+// concurrently, so mkFeed must be safe to call from two goroutines.
 func (s *System) RunFeed(mkFeed func() dynlist.Feed) (*Result, error) {
 	return s.runItems(mkFeed, nil)
 }
@@ -161,18 +186,37 @@ func (s *System) runItems(mkFeed func() dynlist.Feed, known []*taskgraph.Graph) 
 	if s.cfg.SkipEvents {
 		cfg.Mobility = s.mobilityFor
 	}
-	run, err := manager.Run(cfg, mkFeed())
-	if err != nil {
-		return nil, err
-	}
+	// A stateful policy (Random) cannot be shared by concurrent
+	// simulations — neither by the real/ideal pair below nor by
+	// overlapping Run calls on one System — so every simulation gets a
+	// fork replaying the same decision stream from the initial state.
+	cfg.Policy = policy.Fork(s.pol)
 	idealCfg := cfg
 	idealCfg.Latency = 0
 	idealCfg.SkipEvents = false
 	idealCfg.Mobility = nil
 	idealCfg.RecordTrace = false
-	ideal, err := manager.Run(idealCfg, mkFeed())
-	if err != nil {
-		return nil, fmt.Errorf("core: ideal baseline: %w", err)
+	idealCfg.Policy = policy.Fork(s.pol)
+
+	// The real run and its zero-latency baseline are independent
+	// simulations over independent feeds — run them concurrently.
+	var (
+		run, ideal       *manager.Result
+		runErr, idealErr error
+		wg               sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		ideal, idealErr = manager.Run(idealCfg, mkFeed())
+	}()
+	run, runErr = manager.Run(cfg, mkFeed())
+	wg.Wait()
+	if runErr != nil {
+		return nil, runErr
+	}
+	if idealErr != nil {
+		return nil, fmt.Errorf("core: ideal baseline: %w", idealErr)
 	}
 	sum, err := metrics.Summarize(s.pol.Name(), s.cfg.RUs, s.cfg.Latency, run, ideal)
 	if err != nil {
@@ -184,7 +228,7 @@ func (s *System) runItems(mkFeed func() dynlist.Feed, known []*taskgraph.Graph) 
 // mobilityFor serves prepared tables to the manager; unprepared templates
 // (possible with RunFeed) fall back to zero mobility, which is safe.
 func (s *System) mobilityFor(g *taskgraph.Graph) []int {
-	if t, ok := s.tables[g]; ok {
+	if t, ok := s.MobilityTable(g); ok {
 		return t.Values
 	}
 	return nil
@@ -202,16 +246,28 @@ func Evaluate(cfg Config, seq ...*taskgraph.Graph) (*Result, error) {
 
 // Compare evaluates several configurations over the same sequence and
 // returns results keyed by policy name (plus "+skip" when skip events are
-// enabled, to keep keys unique).
+// enabled, to keep keys unique). The configurations run concurrently —
+// each gets its own System — and errors are reported for the first
+// failing configuration in argument order.
 func Compare(cfgs []Config, seq ...*taskgraph.Graph) (map[string]*Result, error) {
+	results := make([]*Result, len(cfgs))
+	errs := make([]error, len(cfgs))
+	var wg sync.WaitGroup
+	for i, cfg := range cfgs {
+		wg.Add(1)
+		go func(i int, cfg Config) {
+			defer wg.Done()
+			results[i], errs[i] = Evaluate(cfg, seq...)
+		}(i, cfg)
+	}
+	wg.Wait()
 	out := make(map[string]*Result, len(cfgs))
-	for _, cfg := range cfgs {
-		res, err := Evaluate(cfg, seq...)
-		if err != nil {
-			return nil, err
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
 		}
 		key := res.Summary.PolicyName
-		if cfg.SkipEvents {
+		if cfgs[i].SkipEvents {
 			key += " +skip"
 		}
 		if _, dup := out[key]; dup {

@@ -5,11 +5,10 @@ import (
 	"io"
 	"strconv"
 
-	"repro/internal/dynlist"
-	"repro/internal/manager"
 	"repro/internal/metrics"
-	"repro/internal/mobility"
 	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/sweep"
 )
 
 // Ablation probes the design choices behind the paper's technique beyond
@@ -23,65 +22,61 @@ import (
 //     baseline among other classic policies.
 //
 // All runs use the Fig. 9 workload at the paper's most contended point
-// (R=4), where replacement decisions matter most.
+// (R=4), where replacement decisions matter most. The whole grid — both
+// window variants across every window, plus the classic baselines — is a
+// single sweep Spec over one shared ideal baseline.
 func Ablation(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	pool, seq, err := opt.Workload()
+	wl, err := opt.sweepWorkload()
 	if err != nil {
 		return err
 	}
 	const rus = 4
-	lat := opt.Latency
-	ideal, err := manager.Run(manager.Config{RUs: rus, Latency: 0, Policy: policy.NewLRU()},
-		dynlist.NewSequence(seq...))
-	if err != nil {
-		return err
-	}
-	lookup, _, err := mobility.ComputeAll(pool, rus, lat)
-	if err != nil {
-		return err
-	}
+	windows := []int{1, 2, 3, 4, 6, 8}
 
-	eval := func(pol policy.Policy, skip bool) (*metrics.Summary, error) {
-		cfg := manager.Config{RUs: rus, Latency: lat, Policy: pol, SkipEvents: skip}
-		if skip {
-			cfg.Mobility = lookup
+	// Policy axis: the 2×len(windows) window grid, then the baselines.
+	var series []sweep.PolicySpec
+	for _, skip := range []bool{false, true} {
+		for _, ww := range windows {
+			series = append(series, sweep.LocalLFD(ww, skip))
 		}
-		res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
-		if err != nil {
-			return nil, err
-		}
-		name := pol.Name()
-		if skip {
-			name += " + Skip Events"
-		}
-		return metrics.Summarize(name, rus, lat, res, ideal)
+	}
+	baselines := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.Fixed("FIFO", policy.NewFIFO()),
+		sweep.Fixed("MRU", policy.NewMRU()),
+		{Name: "Random", New: func() (policy.Policy, error) { return policy.NewRandom(opt.Seed), nil }},
+		lfdSeries(),
+	}
+	baseOff := len(series)
+	series = append(series, baselines...)
+
+	rs, err := opt.executor().Run(sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       []int{rus},
+		Latencies: []simtime.Time{opt.Latency},
+		Policies:  series,
+	})
+	if err != nil {
+		return err
 	}
 
 	section(w, fmt.Sprintf("Ablation 1+2 — Dynamic List window sweep at R=%d (%d apps, seed %d)",
-		rus, len(seq), opt.Seed))
-	windows := []int{1, 2, 3, 4, 6, 8}
+		rus, len(wl.Seq), opt.Seed))
 	cols := make([]string, len(windows))
 	for i, ww := range windows {
 		cols[i] = strconv.Itoa(ww)
 	}
 	reuseTab := metrics.NewTable("reuse rate (%) by window", "variant \\ window", cols...)
 	overTab := metrics.NewTable("remaining overhead (%) by window", "variant \\ window", cols...)
-	for _, skip := range []bool{false, true} {
+	for si, skip := range []bool{false, true} {
 		name := "Local LFD"
 		if skip {
 			name += " + Skip Events"
 		}
 		var reuse, over []float64
-		for _, ww := range windows {
-			pol, err := policy.NewLocalLFD(ww)
-			if err != nil {
-				return err
-			}
-			s, err := eval(pol, skip)
-			if err != nil {
-				return err
-			}
+		for wi := range windows {
+			s := rs.At(0, 0, 0, si*len(windows)+wi).Summary
 			reuse = append(reuse, s.ReuseRate())
 			over = append(over, s.RemainingOverheadPct())
 		}
@@ -97,17 +92,10 @@ func Ablation(opt Options, w io.Writer) error {
 	fmt.Fprint(w, overTab.String())
 
 	section(w, "Ablation 3 — classic cache policies as additional baselines (R=4)")
-	baselines := []policy.Policy{
-		policy.NewLRU(), policy.NewFIFO(), policy.NewMRU(), policy.NewRandom(opt.Seed),
-		policy.NewLFD(),
-	}
 	fmt.Fprintf(w, "%-12s %12s %16s\n", "policy", "reuse (%)", "remaining (%)")
-	for _, pol := range baselines {
-		s, err := eval(pol, false)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(w, "%-12s %12.2f %16.2f\n", pol.Name(), s.ReuseRate(), s.RemainingOverheadPct())
+	for bi, b := range baselines {
+		s := rs.At(0, 0, 0, baseOff+bi).Summary
+		fmt.Fprintf(w, "%-12s %12.2f %16.2f\n", b.Name, s.ReuseRate(), s.RemainingOverheadPct())
 	}
 
 	section(w, "Ablation 4 — hybrid vs purely run-time technique (abstract's 10× claim)")

@@ -15,10 +15,17 @@ import (
 	"sort"
 
 	"repro/internal/dynlist"
+	"repro/internal/policy"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
+
+// lruSeries and lfdSeries are the two stateless reference series every
+// figure plots alongside the paper's policy.
+func lruSeries() sweep.PolicySpec { return sweep.Fixed("LRU", policy.NewLRU()) }
+func lfdSeries() sweep.PolicySpec { return sweep.Fixed("LFD", policy.NewLFD()) }
 
 // Options parametrizes the experiment suite.
 type Options struct {
@@ -35,6 +42,10 @@ type Options struct {
 	// CSV additionally emits machine-readable CSV after each figure
 	// table (Fig. 9 family and ablations).
 	CSV bool
+	// Parallel bounds the number of concurrently simulated scenarios in
+	// the sweep-backed experiments (≤0: one per CPU). Reports are
+	// byte-identical at every setting; see internal/sweep.
+	Parallel int
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -92,6 +103,21 @@ func (o Options) Workload() (pool, seq []*taskgraph.Graph, err error) {
 func (o Options) sequence() ([]*taskgraph.Graph, error) {
 	_, seq, err := o.Workload()
 	return seq, err
+}
+
+// executor returns the scenario executor the sweep-backed experiments
+// share, honouring the Parallel option.
+func (o Options) executor() sweep.Executor {
+	return sweep.Executor{Workers: o.Parallel}
+}
+
+// sweepWorkload wraps the Fig. 9 inputs as a sweep workload.
+func (o Options) sweepWorkload() (sweep.Workload, error) {
+	pool, seq, err := o.Workload()
+	if err != nil {
+		return sweep.Workload{}, err
+	}
+	return sweep.Workload{Pool: pool, Seq: seq}, nil
 }
 
 // Runner produces one experiment report.

@@ -4,12 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/dynlist"
-	"repro/internal/manager"
 	"repro/internal/metrics"
-	"repro/internal/mobility"
-	"repro/internal/policy"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -18,68 +15,48 @@ import (
 // sweeps uniform latencies from 1 to 16 ms and adds a heterogeneous run
 // where each task's latency follows its bitstream size (the equal-sized-
 // units assumption relaxed to "equal regions, differently full
-// bitstreams").
+// bitstreams"). The uniform sweep is a latency-axis Spec; mobility tables
+// are computed once per latency and shared across its scenarios.
 func Sensitivity(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	pool, seq, err := opt.Workload()
+	wl, err := opt.sweepWorkload()
 	if err != nil {
 		return err
 	}
 	const rus = 4
 	section(w, fmt.Sprintf("Extension — latency sensitivity at R=%d (%d apps, seed %d)",
-		rus, len(seq), opt.Seed))
+		rus, len(wl.Seq), opt.Seed))
 
-	mkLocal := func() policy.Policy {
-		p, err := policy.NewLocalLFD(1)
-		if err != nil {
-			panic(err)
-		}
-		return p
-	}
 	latencies := []simtime.Time{
 		simtime.FromMs(1), simtime.FromMs(2), simtime.FromMs(4),
 		simtime.FromMs(8), simtime.FromMs(16),
 	}
+	series := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, true),
+		lfdSeries(),
+	}
+	rs, err := opt.executor().Run(sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       []int{rus},
+		Latencies: latencies,
+		Policies:  series,
+	})
+	if err != nil {
+		return err
+	}
+
 	cols := make([]string, len(latencies))
 	for i, l := range latencies {
 		cols[i] = l.String()
 	}
 	tab := metrics.NewTable("remaining overhead (%) by uniform latency", "policy \\ latency", cols...)
-	for _, s := range []struct {
-		name string
-		pol  func() policy.Policy
-		skip bool
-	}{
-		{"LRU", policy.NewLRU, false},
-		{"Local LFD (1) + Skip Events", mkLocal, true},
-		{"LFD", policy.NewLFD, false},
-	} {
+	for pi, s := range series {
 		var vals []float64
-		for _, lat := range latencies {
-			cfg := manager.Config{RUs: rus, Latency: lat, Policy: s.pol(), SkipEvents: s.skip}
-			if s.skip {
-				lookup, _, err := mobility.ComputeAll(pool, rus, lat)
-				if err != nil {
-					return err
-				}
-				cfg.Mobility = lookup
-			}
-			res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
-			if err != nil {
-				return err
-			}
-			ideal, err := manager.Run(manager.Config{RUs: rus, Latency: 0, Policy: policy.NewLRU()},
-				dynlist.NewSequence(seq...))
-			if err != nil {
-				return err
-			}
-			sum, err := metrics.Summarize(s.name, rus, lat, res, ideal)
-			if err != nil {
-				return err
-			}
-			vals = append(vals, sum.RemainingOverheadPct())
+		for li := range latencies {
+			vals = append(vals, rs.At(0, 0, li, pi).Summary.RemainingOverheadPct())
 		}
-		if err := tab.AddFloatRow(s.name, vals...); err != nil {
+		if err := tab.AddFloatRow(s.Name, vals...); err != nil {
 			return err
 		}
 	}
@@ -92,26 +69,30 @@ func Sensitivity(opt Options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
+	hetSeries := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, false),
+		lfdSeries(),
+	}
+	het, err := opt.executor().Run(sweep.Spec{
+		Workloads:  []sweep.Workload{wl},
+		RUs:        []int{rus},
+		Latencies:  []simtime.Time{0}, // overridden per task by LatencyFor
+		Policies:   hetSeries,
+		LatencyFor: latFor,
+		NoBaseline: true,
+	})
+	if err != nil {
+		return err
+	}
 	fmt.Fprintln(w, "\nheterogeneous latencies (bitstream-size derived, mean 4 ms):")
-	for _, s := range []struct {
-		name string
-		pol  policy.Policy
-	}{
-		{"LRU", policy.NewLRU()},
-		{"Local LFD (1)", mkLocal()},
-		{"LFD", policy.NewLFD()},
-	} {
-		res, err := manager.Run(manager.Config{
-			RUs: rus, LatencyFor: latFor, Policy: s.pol,
-		}, dynlist.NewSequence(seq...))
-		if err != nil {
-			return err
-		}
+	for pi, s := range hetSeries {
+		res := het.At(0, 0, 0, pi).Run
 		reuse := 0.0
 		if res.Executed > 0 {
 			reuse = 100 * float64(res.Reused) / float64(res.Executed)
 		}
-		fmt.Fprintf(w, "  %-16s reuse %6.2f%%  makespan %v\n", s.name, reuse, res.Makespan)
+		fmt.Fprintf(w, "  %-16s reuse %6.2f%%  makespan %v\n", s.Name, reuse, res.Makespan)
 	}
 	fmt.Fprintln(w, "  (reuse ordering matches the uniform-latency runs: the policies rank")
 	fmt.Fprintln(w, "  identically when latencies vary per task)")
@@ -122,64 +103,50 @@ func Sensitivity(opt Options, w io.Writer) error {
 // reconfiguration circuitry preload the next enqueued graph. The paper's
 // manager stops prefetching at graph boundaries; the extension removes
 // the cold boundary load that dominates the remaining overhead at high
-// contention.
+// contention. The whole (RUs × variants) grid is one sweep Spec.
 func Prefetch(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	pool, seq, err := opt.Workload()
+	wl, err := opt.sweepWorkload()
 	if err != nil {
 		return err
 	}
 	section(w, fmt.Sprintf("Extension — cross-graph prefetch (%d apps, seed %d, latency %v)",
-		len(seq), opt.Seed, opt.Latency))
+		len(wl.Seq), opt.Seed, opt.Latency))
+
+	variant := func(name string, window int, skip, prefetch, conservative bool) sweep.PolicySpec {
+		s := sweep.LocalLFD(window, skip)
+		s.Name = name
+		s.CrossGraphPrefetch = prefetch
+		s.ConservativePrefetch = conservative
+		return s
+	}
+	series := []sweep.PolicySpec{
+		variant("Local LFD (1)", 1, false, false, false),
+		variant("Local LFD (1) + Skip Events", 1, true, false, false),
+		variant("Local LFD (1) + prefetch", 1, false, true, false),
+		variant("Local LFD (1) + Skip + prefetch", 1, true, true, false),
+		// The conservative variant needs a window reaching past the
+		// graph being preloaded to recognize reusable victims.
+		variant("Local LFD (4) + conserv. prefetch", 4, false, true, true),
+	}
+	rs, err := opt.executor().Run(sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       opt.RUs,
+		Latencies: []simtime.Time{opt.Latency},
+		Policies:  series,
+	})
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "%-4s %-34s %10s %12s %12s %10s\n",
 		"RUs", "configuration", "reuse %", "overhead", "remaining %", "preloads")
-	for _, rus := range opt.RUs {
-		ideal, err := manager.Run(manager.Config{RUs: rus, Latency: 0, Policy: policy.NewLRU()},
-			dynlist.NewSequence(seq...))
-		if err != nil {
-			return err
-		}
-		lookup, _, err := mobility.ComputeAll(pool, rus, opt.Latency)
-		if err != nil {
-			return err
-		}
-		for _, s := range []struct {
-			name         string
-			window       int
-			skip         bool
-			prefetch     bool
-			conservative bool
-		}{
-			{"Local LFD (1)", 1, false, false, false},
-			{"Local LFD (1) + Skip Events", 1, true, false, false},
-			{"Local LFD (1) + prefetch", 1, false, true, false},
-			{"Local LFD (1) + Skip + prefetch", 1, true, true, false},
-			// The conservative variant needs a window reaching past the
-			// graph being preloaded to recognize reusable victims.
-			{"Local LFD (4) + conserv. prefetch", 4, false, true, true},
-		} {
-			pol, err := policy.NewLocalLFD(s.window)
-			if err != nil {
-				return err
-			}
-			cfg := manager.Config{
-				RUs: rus, Latency: opt.Latency, Policy: pol,
-				SkipEvents: s.skip, CrossGraphPrefetch: s.prefetch,
-				ConservativePrefetch: s.conservative,
-			}
-			if s.skip {
-				cfg.Mobility = lookup
-			}
-			res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
-			if err != nil {
-				return err
-			}
-			sum, err := metrics.Summarize(s.name, rus, opt.Latency, res, ideal)
-			if err != nil {
-				return err
-			}
+	for ri, rus := range opt.RUs {
+		for pi, s := range series {
+			r := rs.At(0, ri, 0, pi)
 			fmt.Fprintf(w, "%-4d %-34s %10.2f %12v %12.2f %10d\n",
-				rus, s.name, sum.ReuseRate(), sum.Overhead(), sum.RemainingOverheadPct(), res.Preloads)
+				rus, s.Name, r.Summary.ReuseRate(), r.Summary.Overhead(),
+				r.Summary.RemainingOverheadPct(), r.Run.Preloads)
 		}
 	}
 	fmt.Fprintln(w, "\nexpected: greedy prefetch hides nearly every load — only the run's very")
@@ -197,7 +164,7 @@ func Prefetch(opt Options, w io.Writer) error {
 // workload and what reuse saved, under the default bitstream model.
 func EnergyExperiment(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	pool, seq, err := opt.Workload()
+	wl, err := opt.sweepWorkload()
 	if err != nil {
 		return err
 	}
@@ -205,51 +172,38 @@ func EnergyExperiment(opt Options, w io.Writer) error {
 	section(w, fmt.Sprintf("Extension — reconfiguration energy and bus traffic at R=%d", rus))
 	model := metrics.DefaultEnergyModel()
 	model.BitstreamBytes = workload.BitstreamBytes()
-	lookup, _, err := mobility.ComputeAll(pool, rus, opt.Latency)
+
+	series := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, false),
+		sweep.LocalLFD(1, true),
+		sweep.LocalLFD(4, true),
+		lfdSeries(),
+	}
+	rs, err := opt.executor().Run(sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       []int{rus},
+		Latencies: []simtime.Time{opt.Latency},
+		Policies:  series,
+		// The energy model consumes the trace, not the ideal baseline.
+		NoBaseline:  true,
+		RecordTrace: true,
+	})
 	if err != nil {
 		return err
 	}
+
 	fmt.Fprintf(w, "%-30s %10s %14s %14s %10s\n",
 		"policy", "loads", "energy (mJ)", "traffic (MB)", "saved %")
-	for _, s := range []struct {
-		name string
-		pol  policy.Policy
-		skip bool
-	}{
-		{"LRU", policy.NewLRU(), false},
-		{"Local LFD (1)", mustLocalPolicy(1), false},
-		{"Local LFD (1) + Skip Events", mustLocalPolicy(1), true},
-		{"Local LFD (4) + Skip Events", mustLocalPolicy(4), true},
-		{"LFD", policy.NewLFD(), false},
-	} {
-		cfg := manager.Config{
-			RUs: rus, Latency: opt.Latency, Policy: s.pol,
-			SkipEvents: s.skip, RecordTrace: true,
-		}
-		if s.skip {
-			cfg.Mobility = lookup
-		}
-		res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
+	for pi, s := range series {
+		rep, err := metrics.Energy(rs.At(0, 0, 0, pi).Run, model)
 		if err != nil {
 			return err
 		}
-		rep, err := metrics.Energy(res, model)
-		if err != nil {
-			return err
-		}
-		name := s.name
 		fmt.Fprintf(w, "%-30s %10d %14.1f %14.2f %10.1f\n",
-			name, rep.Loads, rep.SpentMillijoules, float64(rep.BusBytes)/(1<<20), rep.SavingsPct())
+			s.Name, rep.Loads, rep.SpentMillijoules, float64(rep.BusBytes)/(1<<20), rep.SavingsPct())
 	}
 	fmt.Fprintln(w, "\nexpected: energy and bus traffic track (1 − reuse rate) — the paper's")
 	fmt.Fprintln(w, "claim that maximizing reuse directly cuts reconfiguration energy.")
 	return nil
-}
-
-func mustLocalPolicy(w int) policy.Policy {
-	p, err := policy.NewLocalLFD(w)
-	if err != nil {
-		panic(err)
-	}
-	return p
 }

@@ -5,61 +5,35 @@ import (
 	"io"
 	"strconv"
 
-	"repro/internal/dynlist"
-	"repro/internal/manager"
 	"repro/internal/metrics"
-	"repro/internal/mobility"
-	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/sweep"
 )
 
-// fig9Series is one plotted line: a policy configuration instantiated per
-// unit count (mobility tables are design-time artefacts that depend on R).
-type fig9Series struct {
-	name string
-	skip bool
-	mk   func() (policy.Policy, error)
-}
-
-func localLFDSeries(window int, skip bool) fig9Series {
-	name := fmt.Sprintf("Local LFD (%d)", window)
-	if skip {
-		name += " + Skip Events"
-	}
-	return fig9Series{
-		name: name,
-		skip: skip,
-		mk:   func() (policy.Policy, error) { return policy.NewLocalLFD(window) },
-	}
-}
-
-func fixedSeries(name string, p policy.Policy) fig9Series {
-	return fig9Series{name: name, mk: func() (policy.Policy, error) { return p, nil }}
-}
-
-// fig9Run executes the shared Fig. 9 protocol: one random 500-application
-// sequence, a sweep over unit counts, one row per policy series. metric
-// extracts the plotted quantity from a run summary.
-func fig9Run(opt Options, w io.Writer, title string, series []fig9Series,
+// fig9Run executes the shared Fig. 9 protocol as one sweep: one random
+// 500-application sequence, a grid of unit counts × policy series, run on
+// the parallel scenario executor. Ideal baselines (one per unit count)
+// and design-time mobility tables are computed once and shared across the
+// grid. metric extracts the plotted quantity from a run summary.
+func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 	metric func(*metrics.Summary) float64, paperAvg map[string]float64) error {
 
 	opt = opt.normalized()
-	pool, seq, err := opt.Workload()
+	wl, err := opt.sweepWorkload()
 	if err != nil {
 		return err
 	}
 	section(w, fmt.Sprintf("%s — %d apps from {JPEG, MPEG-1, Hough}, seed %d, latency %v",
-		title, len(seq), opt.Seed, opt.Latency))
+		title, len(wl.Seq), opt.Seed, opt.Latency))
 
-	// Ideal (zero-latency) baselines depend only on the unit count.
-	ideals := make(map[int]*manager.Result, len(opt.RUs))
-	for _, r := range opt.RUs {
-		ideal, err := manager.Run(manager.Config{
-			RUs: r, Latency: 0, Policy: policy.NewLRU(),
-		}, dynlist.NewSequence(seq...))
-		if err != nil {
-			return fmt.Errorf("ideal baseline R=%d: %w", r, err)
-		}
-		ideals[r] = ideal
+	rs, err := opt.executor().Run(sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       opt.RUs,
+		Latencies: []simtime.Time{opt.Latency},
+		Policies:  series,
+	})
+	if err != nil {
+		return err
 	}
 
 	cols := make([]string, 0, len(opt.RUs)+1)
@@ -69,32 +43,12 @@ func fig9Run(opt Options, w io.Writer, title string, series []fig9Series,
 	cols = append(cols, "Avg.")
 	tab := metrics.NewTable("", "policy \\ RUs", cols...)
 
-	for _, s := range series {
+	for pi, s := range series {
 		vals := make([]float64, 0, len(opt.RUs))
-		for _, r := range opt.RUs {
-			pol, err := s.mk()
-			if err != nil {
-				return err
-			}
-			cfg := manager.Config{RUs: r, Latency: opt.Latency, Policy: pol, SkipEvents: s.skip}
-			if s.skip {
-				lookup, _, err := mobility.ComputeAll(pool, r, opt.Latency)
-				if err != nil {
-					return fmt.Errorf("%s R=%d design-time phase: %w", s.name, r, err)
-				}
-				cfg.Mobility = lookup
-			}
-			res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
-			if err != nil {
-				return fmt.Errorf("%s R=%d: %w", s.name, r, err)
-			}
-			sum, err := metrics.Summarize(s.name, r, opt.Latency, res, ideals[r])
-			if err != nil {
-				return fmt.Errorf("%s R=%d: %w", s.name, r, err)
-			}
-			vals = append(vals, metric(sum))
+		for ri := range opt.RUs {
+			vals = append(vals, metric(rs.At(0, ri, 0, pi).Summary))
 		}
-		if err := tab.AddFloatRow(s.name, append(vals, metrics.Mean(vals))...); err != nil {
+		if err := tab.AddFloatRow(s.Name, append(vals, metrics.Mean(vals))...); err != nil {
 			return err
 		}
 	}
@@ -106,8 +60,8 @@ func fig9Run(opt Options, w io.Writer, title string, series []fig9Series,
 	if len(paperAvg) > 0 {
 		fmt.Fprintln(w, "\npaper-reported averages for comparison:")
 		for _, s := range series {
-			if v, ok := paperAvg[s.name]; ok {
-				fmt.Fprintf(w, "  %-28s %.2f\n", s.name, v)
+			if v, ok := paperAvg[s.Name]; ok {
+				fmt.Fprintf(w, "  %-28s %.2f\n", s.Name, v)
 			}
 		}
 	}
@@ -119,12 +73,12 @@ func fig9Run(opt Options, w io.Writer, title string, series []fig9Series,
 // below; Local LFD approaches LFD as the Dynamic List window grows
 // (paper averages: LRU 30.06 %, Local LFD(4) 45.93 %, LFD 45.97 %).
 func Fig9A(opt Options, w io.Writer) error {
-	series := []fig9Series{
-		fixedSeries("LRU", policy.NewLRU()),
-		localLFDSeries(1, false),
-		localLFDSeries(2, false),
-		localLFDSeries(4, false),
-		fixedSeries("LFD", policy.NewLFD()),
+	series := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, false),
+		sweep.LocalLFD(2, false),
+		sweep.LocalLFD(4, false),
+		lfdSeries(),
 	}
 	return fig9Run(opt, w, "Fig. 9a — reuse rate (%) vs number of RUs (ASAP)",
 		series, (*metrics.Summary).ReuseRate,
@@ -135,11 +89,11 @@ func Fig9A(opt Options, w io.Writer) error {
 // reuse above even clairvoyant LFD, because LFD never delays a load
 // (paper averages: Local LFD(1)+Skip 48.19 %, LFD 44.38 %).
 func Fig9B(opt Options, w io.Writer) error {
-	series := []fig9Series{
-		fixedSeries("LRU", policy.NewLRU()),
-		localLFDSeries(1, false),
-		localLFDSeries(1, true),
-		fixedSeries("LFD", policy.NewLFD()),
+	series := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, false),
+		sweep.LocalLFD(1, true),
+		lfdSeries(),
 	}
 	return fig9Run(opt, w, "Fig. 9b — reuse rate (%) with Skip Events",
 		series, (*metrics.Summary).ReuseRate,
@@ -152,12 +106,12 @@ func Fig9B(opt Options, w io.Writer) error {
 // close behind (8.9 %); at 4 units the skip variants beat LFD thanks to
 // the extreme contention (15 tasks on 4 units).
 func Fig9C(opt Options, w io.Writer) error {
-	series := []fig9Series{
-		fixedSeries("LRU", policy.NewLRU()),
-		localLFDSeries(1, true),
-		localLFDSeries(2, true),
-		localLFDSeries(4, true),
-		fixedSeries("LFD", policy.NewLFD()),
+	series := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, true),
+		sweep.LocalLFD(2, true),
+		sweep.LocalLFD(4, true),
+		lfdSeries(),
 	}
 	err := fig9Run(opt, w, "Fig. 9c — remaining reconfiguration overhead (%)",
 		series, (*metrics.Summary).RemainingOverheadPct,

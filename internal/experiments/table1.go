@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/policy"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
@@ -88,56 +89,60 @@ type TableIRow struct {
 	RatioToLRU float64
 }
 
+// tableICase declares one measured policy: the sweep PolicySpec names it
+// and constructs it, the lookahead shapes its worst case, and PaperMs is
+// the paper's PowerPC measurement next to which it is reported.
+type tableICase struct {
+	spec    sweep.PolicySpec
+	look    []taskgraph.TaskID
+	paperMs float64
+}
+
+// tableICases builds the paper's five measured configurations.
+func tableICases(full []taskgraph.TaskID) []tableICase {
+	return []tableICase{
+		{sweep.Fixed("LRU", policy.NewLRU()), nil, 0.00720},
+		{sweep.Fixed("LFD", policy.NewLFD()), full, 11.34983},
+		{sweep.LocalLFD(1, true), WindowLookahead(1), 0.06028},
+		{sweep.LocalLFD(2, true), WindowLookahead(2), 0.07412},
+		{sweep.LocalLFD(4, true), WindowLookahead(4), 0.11020},
+	}
+}
+
 // MeasureTableI times each policy's victim selection in the worst case.
-// It returns rows in the paper's order. Timing uses testing.Benchmark, so
-// results are statistically settled but machine-dependent; the meaningful
-// comparison is the ratio column (see DESIGN.md §3 on the PowerPC
-// substitution).
+// It returns rows in the paper's order. Timing uses testing.Benchmark —
+// necessarily sequential, unlike the simulation sweeps: concurrent
+// scenarios would perturb each other's clocks. The results are
+// machine-dependent; the meaningful comparison is the ratio column (see
+// DESIGN.md §3 on the PowerPC substitution).
 func MeasureTableI(opt Options) ([]TableIRow, error) {
 	opt = opt.normalized()
 	seq, err := opt.sequence()
 	if err != nil {
 		return nil, err
 	}
-	full := FullFutureLookahead(seq)
-
-	type m struct {
-		name    string
-		pol     policy.Policy
-		look    []taskgraph.TaskID
-		paperMs float64
-	}
-	mk := func(w int) policy.Policy {
-		p, err := policy.NewLocalLFD(w)
-		if err != nil {
-			panic(err)
-		}
-		return p
-	}
-	ms := []m{
-		{"LRU", policy.NewLRU(), nil, 0.00720},
-		{"LFD", policy.NewLFD(), full, 11.34983},
-		{"Local LFD (1) + Skip Events", mk(1), WindowLookahead(1), 0.06028},
-		{"Local LFD (2) + Skip Events", mk(2), WindowLookahead(2), 0.07412},
-		{"Local LFD (4) + Skip Events", mk(4), WindowLookahead(4), 0.11020},
-	}
-	rows := make([]TableIRow, 0, len(ms))
+	cases := tableICases(FullFutureLookahead(seq))
+	rows := make([]TableIRow, 0, len(cases))
 	var lruNs float64
-	for _, mm := range ms {
+	for _, c := range cases {
+		pol, err := c.spec.New()
+		if err != nil {
+			return nil, err
+		}
 		// Use the late-hit variant so the measured cost includes one full
 		// scan per candidate, matching the paper's implementation (which
 		// cannot short-circuit); see NewLateHitCase.
-		wc := NewLateHitCase(mm.look)
+		wc := NewLateHitCase(c.look)
 		res := testing.Benchmark(func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				mm.pol.SelectVictim(wc.Request, wc.Candidates)
+				pol.SelectVictim(wc.Request, wc.Candidates)
 			}
 		})
 		ns := float64(res.NsPerOp())
-		if mm.name == "LRU" {
+		if c.spec.Name == "LRU" {
 			lruNs = ns
 		}
-		rows = append(rows, TableIRow{Name: mm.name, NsPerOp: ns, PaperMs: mm.paperMs})
+		rows = append(rows, TableIRow{Name: c.spec.Name, NsPerOp: ns, PaperMs: c.paperMs})
 	}
 	for i := range rows {
 		if lruNs > 0 {

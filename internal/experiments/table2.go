@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/policy"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
@@ -55,7 +56,7 @@ func MeasureTableII(opt Options) ([]TableIIRow, error) {
 		// Replacement module: worst-case decision, averaged over windows.
 		var moduleNs []float64
 		for _, w := range []int{1, 2, 4} {
-			pol, err := policy.NewLocalLFD(w)
+			pol, err := sweep.LocalLFD(w, true).New()
 			if err != nil {
 				return nil, err
 			}
@@ -123,7 +124,7 @@ func TableII(opt Options, w io.Writer) error {
 func MeasureHybridVsPureRuntime(opt Options) (hybridNs, pureNs float64, err error) {
 	opt = opt.normalized()
 	g := workload.Hough() // largest benchmark: the paper's worst case
-	pol, err := policy.NewLocalLFD(1)
+	pol, err := sweep.LocalLFD(1, true).New()
 	if err != nil {
 		return 0, 0, err
 	}

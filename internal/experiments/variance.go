@@ -4,18 +4,17 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/dynlist"
-	"repro/internal/manager"
 	"repro/internal/metrics"
-	"repro/internal/mobility"
-	"repro/internal/policy"
+	"repro/internal/simtime"
+	"repro/internal/sweep"
 )
 
 // Variance re-runs the headline comparison (Fig. 9b at the paper's
 // high-contention point, R=4) across ten independent workload seeds and
 // reports mean ± standard deviation per policy. The paper evaluates a
 // single 500-application sequence; this experiment shows its conclusions
-// are not an artefact of one draw.
+// are not an artefact of one draw. The seeds form the workload axis of
+// one sweep Spec, so they run concurrently.
 func Variance(opt Options, w io.Writer) error {
 	opt = opt.normalized()
 	const rus = 4
@@ -23,54 +22,51 @@ func Variance(opt Options, w io.Writer) error {
 	section(w, fmt.Sprintf("Extension — seed robustness of Fig. 9b at R=%d (%d apps × %d seeds)",
 		rus, opt.Apps, seeds))
 
-	type series struct {
-		name string
-		mk   func() (policy.Policy, error)
-		skip bool
+	series := []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, false),
+		sweep.LocalLFD(1, true),
+		lfdSeries(),
 	}
-	all := []series{
-		{"LRU", func() (policy.Policy, error) { return policy.NewLRU(), nil }, false},
-		{"Local LFD (1)", func() (policy.Policy, error) { return policy.NewLocalLFD(1) }, false},
-		{"Local LFD (1) + Skip Events", func() (policy.Policy, error) { return policy.NewLocalLFD(1) }, true},
-		{"LFD", func() (policy.Policy, error) { return policy.NewLFD(), nil }, false},
-	}
-	rates := make(map[string][]float64, len(all))
-
+	workloads := make([]sweep.Workload, 0, seeds)
 	for s := int64(0); s < seeds; s++ {
 		seedOpt := opt
 		seedOpt.Seed = opt.Seed + s
-		pool, seq, err := seedOpt.Workload()
+		wl, err := seedOpt.sweepWorkload()
 		if err != nil {
 			return err
 		}
-		lookup, _, err := mobility.ComputeAll(pool, rus, opt.Latency)
-		if err != nil {
-			return err
-		}
-		for _, sr := range all {
-			pol, err := sr.mk()
-			if err != nil {
-				return err
-			}
-			cfg := manager.Config{RUs: rus, Latency: opt.Latency, Policy: pol, SkipEvents: sr.skip}
-			if sr.skip {
-				cfg.Mobility = lookup
-			}
-			res, err := manager.Run(cfg, dynlist.NewSequence(seq...))
-			if err != nil {
-				return fmt.Errorf("%s seed %d: %w", sr.name, seedOpt.Seed, err)
-			}
+		wl.Label = fmt.Sprintf("seed %d", seedOpt.Seed)
+		workloads = append(workloads, wl)
+	}
+	rs, err := opt.executor().Run(sweep.Spec{
+		Workloads: workloads,
+		RUs:       []int{rus},
+		Latencies: []simtime.Time{opt.Latency},
+		Policies:  series,
+		// The reuse rates come straight from the raw counters; no
+		// zero-latency baselines needed.
+		NoBaseline: true,
+	})
+	if err != nil {
+		return err
+	}
+
+	rates := make(map[string][]float64, len(series))
+	for wi := range workloads {
+		for pi, sr := range series {
+			res := rs.At(wi, 0, 0, pi).Run
 			rate := 0.0
 			if res.Executed > 0 {
 				rate = 100 * float64(res.Reused) / float64(res.Executed)
 			}
-			rates[sr.name] = append(rates[sr.name], rate)
+			rates[sr.Name] = append(rates[sr.Name], rate)
 		}
 	}
 
 	fmt.Fprintf(w, "%-30s %12s %10s %10s %10s\n", "policy", "mean reuse %", "stddev", "min", "max")
-	for _, sr := range all {
-		vs := rates[sr.name]
+	for _, sr := range series {
+		vs := rates[sr.Name]
 		lo, hi := vs[0], vs[0]
 		for _, v := range vs {
 			if v < lo {
@@ -81,7 +77,7 @@ func Variance(opt Options, w io.Writer) error {
 			}
 		}
 		fmt.Fprintf(w, "%-30s %12.2f %10.2f %10.2f %10.2f\n",
-			sr.name, metrics.Mean(vs), metrics.Stddev(vs), lo, hi)
+			sr.Name, metrics.Mean(vs), metrics.Stddev(vs), lo, hi)
 	}
 
 	// The headline claim must hold on every seed, not just on average.

@@ -1,0 +1,98 @@
+package mobility
+
+import (
+	"sync"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// The design-time phase is by far the most expensive computation in a
+// sweep — hundreds of full schedules per (template, RUs, latency) triple —
+// and its result is a pure function of that triple. The process-wide cache
+// below memoizes it so that every System, sweep scenario and experiment in
+// the process shares one table per triple instead of recomputing it.
+//
+// Concurrency: the first caller of a key computes; concurrent callers of
+// the same key block until that computation finishes (single-flight), so a
+// parallel sweep over N scenarios still runs each design-time phase
+// exactly once.
+
+type cacheKey struct {
+	g       *taskgraph.Graph
+	rus     int
+	latency simtime.Time
+}
+
+type cacheEntry struct {
+	done chan struct{}
+	t    *Table
+	err  error
+}
+
+var cache = struct {
+	mu sync.Mutex
+	m  map[cacheKey]*cacheEntry
+}{m: make(map[cacheKey]*cacheEntry)}
+
+// Cached returns the design-time table for (g, rus, latency), computing it
+// on first use and serving the memoized result afterwards. Tables are
+// keyed by template identity (the *Graph pointer), matching how the
+// manager looks mobility values up at run time.
+func Cached(g *taskgraph.Graph, rus int, latency simtime.Time) (*Table, error) {
+	key := cacheKey{g: g, rus: rus, latency: latency}
+	cache.mu.Lock()
+	e, ok := cache.m[key]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		cache.m[key] = e
+		cache.mu.Unlock()
+		e.t, e.err = Compute(g, rus, latency)
+		if e.err != nil {
+			// Do not memoize failures: a later caller may retry after
+			// fixing the input (and errors here mean a broken graph).
+			cache.mu.Lock()
+			delete(cache.m, key)
+			cache.mu.Unlock()
+		}
+		close(e.done)
+		return e.t, e.err
+	}
+	cache.mu.Unlock()
+	<-e.done
+	return e.t, e.err
+}
+
+// CachedAll is ComputeAll backed by the process-wide cache: one table per
+// distinct template in graphs, computed at most once per process.
+func CachedAll(graphs []*taskgraph.Graph, rus int, latency simtime.Time) (func(*taskgraph.Graph) []int, []*Table, error) {
+	seen := make(map[*taskgraph.Graph]bool)
+	var tables []*Table
+	for _, g := range graphs {
+		if seen[g] {
+			continue
+		}
+		seen[g] = true
+		t, err := Cached(g, rus, latency)
+		if err != nil {
+			return nil, nil, err
+		}
+		tables = append(tables, t)
+	}
+	return Lookup(tables...), tables, nil
+}
+
+// CacheLen reports how many tables the process-wide cache holds.
+func CacheLen() int {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	return len(cache.m)
+}
+
+// FlushCache empties the process-wide cache (tests; or to release tables
+// for template pools that will never be used again).
+func FlushCache() {
+	cache.mu.Lock()
+	defer cache.mu.Unlock()
+	cache.m = make(map[cacheKey]*cacheEntry)
+}

@@ -1,0 +1,133 @@
+package mobility
+
+import (
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestCachedMatchesCompute(t *testing.T) {
+	defer FlushCache()
+	FlushCache()
+	g := workload.JPEG()
+	want, err := Compute(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Cached(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Values, want.Values) {
+		t.Errorf("cached values %v, computed %v", got.Values, want.Values)
+	}
+	if got.RefMakespan != want.RefMakespan {
+		t.Errorf("cached ref makespan %v, computed %v", got.RefMakespan, want.RefMakespan)
+	}
+	again, err := Cached(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again != got {
+		t.Error("second Cached call did not return the memoized table")
+	}
+	if CacheLen() != 1 {
+		t.Errorf("cache holds %d entries, want 1", CacheLen())
+	}
+}
+
+func TestCachedKeysDistinguishConfigurations(t *testing.T) {
+	defer FlushCache()
+	FlushCache()
+	g := workload.MPEG1()
+	a, err := Cached(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Cached(g, 5, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Error("different RU counts share one cache entry")
+	}
+	if CacheLen() != 2 {
+		t.Errorf("cache holds %d entries, want 2", CacheLen())
+	}
+}
+
+// TestCachedSingleFlight hammers one key from many goroutines and checks
+// every caller gets the same memoized table.
+func TestCachedSingleFlight(t *testing.T) {
+	defer FlushCache()
+	FlushCache()
+	g := workload.Hough()
+	const callers = 16
+	tables := make([]*Table, callers)
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			tab, err := Cached(g, 4, workload.PaperLatency())
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tables[i] = tab
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < callers; i++ {
+		if tables[i] != tables[0] {
+			t.Fatalf("caller %d got a different table instance", i)
+		}
+	}
+	if CacheLen() != 1 {
+		t.Errorf("cache holds %d entries, want 1", CacheLen())
+	}
+}
+
+func TestCachedAllSharesTables(t *testing.T) {
+	defer FlushCache()
+	FlushCache()
+	pool := workload.Multimedia()
+	lookup, tables, err := CachedAll(pool, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != len(pool) {
+		t.Fatalf("got %d tables for %d templates", len(tables), len(pool))
+	}
+	for i, g := range pool {
+		if got := lookup(g); !reflect.DeepEqual(got, tables[i].Values) {
+			t.Errorf("lookup(%s) = %v, want %v", g.Name(), got, tables[i].Values)
+		}
+	}
+	// A second CachedAll over the same pool must hit, not recompute.
+	_, tables2, err := CachedAll(pool, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tables {
+		if tables2[i] != tables[i] {
+			t.Errorf("table %d recomputed instead of served from cache", i)
+		}
+	}
+	if CacheLen() != len(pool) {
+		t.Errorf("cache holds %d entries, want %d", CacheLen(), len(pool))
+	}
+}
+
+func TestCachedNilGraph(t *testing.T) {
+	defer FlushCache()
+	FlushCache()
+	if _, err := Cached(nil, 4, workload.PaperLatency()); err == nil {
+		t.Fatal("nil graph accepted")
+	}
+	if CacheLen() != 0 {
+		t.Error("failed computation was memoized")
+	}
+}

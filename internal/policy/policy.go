@@ -77,6 +77,24 @@ type Decision struct {
 	Reusable bool
 }
 
+// Forker is implemented by stateful policies whose decision state cannot
+// be shared by concurrent simulations. Fork returns an independent
+// equivalent instance: it replays the same decision stream from its
+// initial state.
+type Forker interface {
+	Fork() Policy
+}
+
+// Fork returns a policy safe to hand to a second, concurrent run.
+// Stateless policies are returned as-is; stateful ones (Random) are
+// re-created from their initial state via Forker.
+func Fork(p Policy) Policy {
+	if f, ok := p.(Forker); ok {
+		return f.Fork()
+	}
+	return p
+}
+
 // Policy selects replacement victims.
 type Policy interface {
 	// Name identifies the policy in reports (e.g. "Local LFD (2)").
@@ -173,16 +191,21 @@ func (fifo) SelectVictim(req Request, cands []Candidate) Decision {
 // --- Random --------------------------------------------------------------
 
 type random struct {
-	rng *rand.Rand
+	seed int64
+	rng  *rand.Rand
 }
 
 // NewRandom returns a uniformly random policy seeded for reproducibility.
 func NewRandom(seed int64) Policy {
-	return &random{rng: rand.New(rand.NewSource(seed))}
+	return &random{seed: seed, rng: rand.New(rand.NewSource(seed))}
 }
 
 func (*random) Name() string { return "Random" }
 func (*random) Window() int  { return WindowNone }
+
+// Fork returns an independent Random replaying the same stream from the
+// original seed, so a concurrent run cannot race on the shared generator.
+func (r *random) Fork() Policy { return NewRandom(r.seed) }
 
 func (r *random) SelectVictim(req Request, cands []Candidate) Decision {
 	c := cands[r.rng.Intn(len(cands))]

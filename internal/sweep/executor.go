@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/dynlist"
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/mobility"
+	"repro/internal/policy"
+	"repro/internal/taskgraph"
+)
+
+// Executor runs the scenarios of a Spec on a bounded worker pool.
+//
+// Results are collected in spec order regardless of completion order, and
+// every shared input is computed once per sweep: the zero-latency ideal
+// baseline once per (workload, RUs) — with the LRU policy, exactly as the
+// paper's figures do — and the design-time mobility tables once per
+// (template, RUs, latency) through the process-wide mobility cache. The
+// first scenario error cancels the remaining work.
+type Executor struct {
+	// Workers bounds the number of concurrently running scenarios; values
+	// ≤ 0 mean runtime.GOMAXPROCS(0). Workers == 1 is the sequential
+	// execution the determinism tests compare against.
+	Workers int
+}
+
+// Run executes every scenario of spec and returns the results in spec
+// order. On error it reports the failing scenario with the smallest spec
+// index among those that failed before cancellation took effect.
+func Run(spec Spec) (*ResultSet, error) { return Executor{}.Run(spec) }
+
+// Run executes the sweep. See the type comment for the sharing and
+// ordering guarantees.
+func (e Executor) Run(spec Spec) (*ResultSet, error) {
+	sp := spec
+	scenarios, err := sp.Expand()
+	if err != nil {
+		return nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(scenarios) {
+		workers = len(scenarios)
+	}
+
+	ideals := newIdealCache(&sp)
+	results := make([]*Result, len(scenarios))
+	errs := make([]error, len(scenarios))
+
+	jobs := make(chan int)
+	stop := make(chan struct{})
+	var stopOnce sync.Once
+	cancel := func() { stopOnce.Do(func() { close(stop) }) }
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				res, err := runScenario(&sp, scenarios[i], ideals)
+				if err != nil {
+					errs[i] = err
+					cancel()
+					continue
+				}
+				results[i] = res
+			}
+		}()
+	}
+feed:
+	for i := range scenarios {
+		select {
+		case jobs <- i:
+		case <-stop:
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i, scenarios[i].Name(), err)
+		}
+	}
+	return &ResultSet{Spec: &sp, Results: results}, nil
+}
+
+// runScenario simulates one scenario: fresh policy instance, shared
+// mobility tables, shared ideal baseline, summary.
+func runScenario(sp *Spec, sc Scenario, ideals *idealCache) (*Result, error) {
+	pol, err := sc.Policy.New()
+	if err != nil {
+		return nil, err
+	}
+	cfg := manager.Config{
+		RUs:                  sc.RUs,
+		Latency:              sc.Latency,
+		LatencyFor:           sp.LatencyFor,
+		Policy:               pol,
+		SkipEvents:           sc.Policy.Skip,
+		CrossGraphPrefetch:   sc.Policy.CrossGraphPrefetch,
+		ConservativePrefetch: sc.Policy.ConservativePrefetch,
+		RecordTrace:          sp.RecordTrace,
+	}
+	if sc.Policy.Skip {
+		lookup, _, err := mobility.CachedAll(sc.Workload.templates(), sc.RUs, sc.Latency)
+		if err != nil {
+			return nil, fmt.Errorf("design-time phase: %w", err)
+		}
+		cfg.Mobility = lookup
+	}
+	run, err := manager.Run(cfg, dynlist.NewSequence(sc.Workload.Seq...))
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Scenario: sc, Run: run}
+	if sp.NoBaseline {
+		return res, nil
+	}
+	ideal, err := ideals.get(sc.WorkloadIdx, sc.RUs)
+	if err != nil {
+		return nil, fmt.Errorf("ideal baseline: %w", err)
+	}
+	sum, err := metrics.Summarize(sc.Policy.Name, sc.RUs, sc.Latency, run, ideal)
+	if err != nil {
+		return nil, err
+	}
+	res.Ideal = ideal
+	res.Summary = sum
+	return res, nil
+}
+
+// templates returns the workload's template pool, deriving the distinct
+// templates of Seq when Pool was not given.
+func (w *Workload) templates() []*taskgraph.Graph {
+	if len(w.Pool) > 0 {
+		return w.Pool
+	}
+	seen := make(map[*taskgraph.Graph]bool, 4)
+	var out []*taskgraph.Graph
+	for _, g := range w.Seq {
+		if !seen[g] {
+			seen[g] = true
+			out = append(out, g)
+		}
+	}
+	return out
+}
+
+// idealCache single-flights the zero-latency baselines shared by every
+// scenario of one (workload, RUs) pair.
+type idealCache struct {
+	sp *Spec
+	mu sync.Mutex
+	m  map[idealKey]*idealEntry
+}
+
+type idealKey struct {
+	workload int
+	rus      int
+}
+
+type idealEntry struct {
+	done chan struct{}
+	res  *manager.Result
+	err  error
+}
+
+func newIdealCache(sp *Spec) *idealCache {
+	return &idealCache{sp: sp, m: make(map[idealKey]*idealEntry)}
+}
+
+func (c *idealCache) get(workload, rus int) (*manager.Result, error) {
+	key := idealKey{workload: workload, rus: rus}
+	c.mu.Lock()
+	e, ok := c.m[key]
+	if !ok {
+		e = &idealEntry{done: make(chan struct{})}
+		c.m[key] = e
+		c.mu.Unlock()
+		e.res, e.err = manager.Run(manager.Config{
+			RUs: rus, Latency: 0, Policy: policy.NewLRU(),
+		}, dynlist.NewSequence(c.sp.Workloads[workload].Seq...))
+		close(e.done)
+		return e.res, e.err
+	}
+	c.mu.Unlock()
+	<-e.done
+	return e.res, e.err
+}

@@ -1,0 +1,71 @@
+package sweep
+
+import "testing"
+
+func TestParseRUs(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    []int
+		wantErr bool
+	}{
+		{"4-10", []int{4, 5, 6, 7, 8, 9, 10}, false},
+		{"3-3", []int{3}, false},
+		{" 4 - 6 ", []int{4, 5, 6}, false},
+		{"3,5,9", []int{3, 5, 9}, false},
+		{"7", []int{7}, false},
+		{"10-4", nil, true},
+		{"0-3", nil, true},
+		{"a-b", nil, true},
+		{"4,x", nil, true},
+		{"", nil, true},
+		{"-2", nil, true},
+	}
+	for _, tt := range cases {
+		got, err := ParseRUs(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseRUs(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err != nil {
+			continue
+		}
+		if len(got) != len(tt.want) {
+			t.Errorf("ParseRUs(%q) = %v, want %v", tt.in, got, tt.want)
+			continue
+		}
+		for i := range tt.want {
+			if got[i] != tt.want[i] {
+				t.Errorf("ParseRUs(%q) = %v, want %v", tt.in, got, tt.want)
+				break
+			}
+		}
+	}
+}
+
+func TestParsePolicies(t *testing.T) {
+	got, err := ParsePolicies("lru, locallfd:2 ,lfd", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"LRU", "Local LFD (2)", "LFD"}
+	if len(got) != len(want) {
+		t.Fatalf("parsed %d policies, want %d", len(got), len(want))
+	}
+	for i, ps := range got {
+		if ps.Name != want[i] {
+			t.Errorf("policy %d = %q, want %q", i, ps.Name, want[i])
+		}
+	}
+	skip, err := ParsePolicies("locallfd:1", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skip[0].Name != "Local LFD (1) + Skip Events" || !skip[0].Skip {
+		t.Errorf("skip parse = %+v", skip[0])
+	}
+	for _, bad := range []string{"", " , ", "lru,nonsense"} {
+		if _, err := ParsePolicies(bad, false); err == nil {
+			t.Errorf("ParsePolicies(%q) accepted", bad)
+		}
+	}
+}
