@@ -17,6 +17,7 @@ import (
 	"repro/internal/manager"
 	"repro/internal/mobility"
 	"repro/internal/policy"
+	"repro/internal/resultstore"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
 	"repro/internal/taskgraph"
@@ -213,6 +214,41 @@ func BenchmarkFig9SweepColdCache(b *testing.B) {
 				}
 			}
 		})
+	}
+}
+
+// BenchmarkFig9SweepWarmStore measures serving the whole Fig. 9b grid
+// from a populated result store: the cost of a re-run that re-simulates
+// nothing (hash the workload once, 28 disk lookups, decode). Compare
+// against BenchmarkFig9Sweep/Parallel — the gap is what the store saves
+// on every overlapping re-run.
+func BenchmarkFig9SweepWarmStore(b *testing.B) {
+	pool, seq := fig9Workload(b)
+	spec := fig9SweepSpec(b, pool, seq)
+	store, err := resultstore.Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	ex := sweep.Executor{Store: store}
+	// Cold run populates the store (and warms the mobility cache).
+	if _, err := ex.Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rs, err := ex.Run(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rs.Results) != spec.Size() {
+			b.Fatalf("%d results for %d scenarios", len(rs.Results), spec.Size())
+		}
+	}
+	b.StopTimer()
+	if _, misses, _ := store.Stats(); misses != int64(spec.Size()) {
+		b.Fatalf("warm iterations missed the store (%d misses beyond the cold run's %d)",
+			misses-int64(spec.Size()), spec.Size())
 	}
 }
 

@@ -6,6 +6,12 @@
 //	rtrrepro -only fig9a      # one experiment
 //	rtrrepro -only fig2,fig3  # a subset
 //	rtrrepro -apps 100 -seed 7 -rus 3-8
+//	rtrrepro -store .rtr-store   # persist results; re-runs are warm
+//
+// With -store DIR (or RTR_STORE set), every grid experiment serves
+// scenarios already on disk instead of re-simulating them and the reports
+// stay byte-identical — CI runs the suite twice into one store and diffs
+// the outputs. The hit/miss digest goes to stderr, never into a report.
 package main
 
 import (
@@ -15,6 +21,7 @@ import (
 	"strings"
 
 	"repro/internal/experiments"
+	"repro/internal/resultstore"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
 )
@@ -28,8 +35,24 @@ func main() {
 		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
 		csv      = flag.Bool("csv", false, "also emit CSV after each figure table")
 		parallel = flag.Int("parallel", 0, "concurrently simulated scenarios per experiment (0 = one per CPU; reports are identical at any setting)")
+		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store directory (default: $RTR_STORE); warm re-runs serve unchanged scenarios from disk")
+		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
+		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
 	)
 	flag.Parse()
+
+	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
+	if err != nil {
+		fatal(err)
+	}
+	if *storeGC {
+		line, err := resultstore.RunGC(store)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(line)
+		return
+	}
 
 	units, err := sweep.ParseRUs(*rus)
 	if err != nil {
@@ -42,6 +65,7 @@ func main() {
 		Latency:  simtime.FromMs(*latency),
 		CSV:      *csv,
 		Parallel: *parallel,
+		Store:    store,
 	}
 
 	selected, err := selectExperiments(*only)
@@ -55,6 +79,9 @@ func main() {
 		if err := e.Run(opt, os.Stdout); err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
 		}
+	}
+	if store != nil {
+		fmt.Fprintln(os.Stderr, store.SummaryLine())
 	}
 }
 

@@ -12,6 +12,13 @@
 // unless -parallel says otherwise), reported as a comparison table:
 //
 //	rtrsim -policy lru,locallfd:1,lfd -rus 4-10 -parallel 8
+//
+// With -store DIR (or RTR_STORE set), scenario results are persisted
+// keyed by canonical config hash and re-runs with overlapping grids are
+// served from disk; the hit/miss digest goes to stderr so reports stay
+// byte-identical. -store-gc reclaims entries written under an older
+// schema version; -no-store disables the store even when RTR_STORE is
+// set. Trace-producing runs (-gantt/-svg/-trace) bypass the store.
 package main
 
 import (
@@ -24,7 +31,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynlist"
 	"repro/internal/metrics"
-	"repro/internal/policy"
+	"repro/internal/resultstore"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
 	"repro/internal/taskgraph"
@@ -47,8 +54,24 @@ func main() {
 		tick     = flag.Float64("tick", 0, "Gantt: ms per column (0 = auto)")
 		svgOut   = flag.String("svg", "", "write the schedule as SVG to this file (single run only)")
 		traceOut = flag.String("trace", "", "write the execution trace as JSON to this file (single run only)")
+		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store directory (default: $RTR_STORE); re-runs serve unchanged scenarios from disk")
+		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
+		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
 	)
 	flag.Parse()
+
+	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
+	if err != nil {
+		fatal(err)
+	}
+	if *storeGC {
+		line, err := resultstore.RunGC(store)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(line)
+		return
+	}
 
 	units, err := sweep.ParseRUs(*rus)
 	if err != nil {
@@ -64,26 +87,25 @@ func main() {
 	}
 
 	if len(units) == 1 && len(policies) == 1 {
-		pol, err := policies[0].New()
-		if err != nil {
-			fatal(err)
-		}
 		runSingle(*wl, seq, singleOptions{
-			policy: pol, rus: units[0], latency: simtime.FromMs(*latency),
+			spec: policies[0], rus: units[0], latency: simtime.FromMs(*latency),
 			skip: *skip, prefetch: *prefetch,
 			gantt: *gantt, tick: *tick, svgOut: *svgOut, traceOut: *traceOut,
-		})
-		return
+		}, store)
+	} else {
+		if *gantt || *svgOut != "" || *traceOut != "" {
+			fatal(fmt.Errorf("-gantt/-svg/-trace need a single scenario; got %d policies × %d unit counts",
+				len(policies), len(units)))
+		}
+		runSweep(*wl, seq, units, policies, simtime.FromMs(*latency), *prefetch, *parallel, store)
 	}
-	if *gantt || *svgOut != "" || *traceOut != "" {
-		fatal(fmt.Errorf("-gantt/-svg/-trace need a single scenario; got %d policies × %d unit counts",
-			len(policies), len(units)))
+	if store != nil {
+		fmt.Fprintln(os.Stderr, store.SummaryLine())
 	}
-	runSweep(*wl, seq, units, policies, simtime.FromMs(*latency), *prefetch, *parallel)
 }
 
 type singleOptions struct {
-	policy         policy.Policy
+	spec           sweep.PolicySpec
 	rus            int
 	latency        simtime.Time
 	skip, prefetch bool
@@ -94,29 +116,53 @@ type singleOptions struct {
 }
 
 // runSingle is the classic one-scenario path with the full metric report
-// and the optional schedule views.
-func runSingle(wl string, seq []*taskgraph.Graph, o singleOptions) {
+// and the optional schedule views. With a store attached (and no schedule
+// view requested, since traces are not serialized) the scenario runs
+// through the store-backed sweep executor instead, so repeated single
+// runs are served from disk too.
+func runSingle(wl string, seq []*taskgraph.Graph, o singleOptions, store *resultstore.Store) {
 	needTrace := o.gantt || o.svgOut != "" || o.traceOut != ""
-	res, err := core.Evaluate(core.Config{
-		RUs:                o.rus,
-		Latency:            o.latency,
-		Policy:             o.policy,
-		SkipEvents:         o.skip,
-		CrossGraphPrefetch: o.prefetch,
-		RecordTrace:        needTrace,
-	}, seq...)
-	if err != nil {
-		fatal(err)
+	var res *core.Result
+	if store != nil && !needTrace {
+		ps := o.spec
+		ps.CrossGraphPrefetch = o.prefetch
+		rs, err := sweep.Executor{Store: store}.Run(sweep.Spec{
+			Workloads: []sweep.Workload{{Seq: seq}},
+			RUs:       []int{o.rus},
+			Latencies: []simtime.Time{o.latency},
+			Policies:  []sweep.PolicySpec{ps},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		r := rs.Results[0]
+		res = &core.Result{Run: r.Run, Ideal: r.Ideal, Summary: r.Summary}
+	} else {
+		pol, err := o.spec.New()
+		if err != nil {
+			fatal(err)
+		}
+		r, err := core.Evaluate(core.Config{
+			RUs:                o.rus,
+			Latency:            o.latency,
+			Policy:             pol,
+			SkipEvents:         o.skip,
+			CrossGraphPrefetch: o.prefetch,
+			RecordTrace:        needTrace,
+		}, seq...)
+		if err != nil {
+			fatal(err)
+		}
+		res = r
 	}
 
 	s := res.Summary
 	fmt.Printf("workload        %s (%d applications, %d task executions)\n", wl, len(seq), s.Executed)
 	fmt.Printf("system          %d RUs, latency %v\n", s.RUs, s.Latency)
-	name := s.PolicyName
-	if o.skip {
-		name += " + Skip Events"
-	}
-	fmt.Printf("policy          %s\n", name)
+	// The spec's display name already carries the skip suffix, and both
+	// execution paths (core and store-backed sweep) report the same run,
+	// so the label is path-independent.
+	fmt.Printf("policy          %s\n", o.spec.Name)
 	fmt.Printf("reuse           %d/%d = %.2f%%\n", s.Reused, s.Executed, s.ReuseRate())
 	fmt.Printf("makespan        %v (ideal %v)\n", s.Makespan, s.IdealMakespan)
 	fmt.Printf("overhead        %v (%.2f%% of the original %v)\n",
@@ -151,14 +197,14 @@ func runSingle(wl string, seq []*taskgraph.Graph, o singleOptions) {
 // runSweep executes the policies × unit-counts grid on the parallel
 // executor and prints one comparison row per scenario, in spec order.
 func runSweep(wl string, seq []*taskgraph.Graph, units []int, policies []sweep.PolicySpec,
-	latency simtime.Time, prefetch bool, parallel int) {
+	latency simtime.Time, prefetch bool, parallel int, store *resultstore.Store) {
 
 	if prefetch {
 		for i := range policies {
 			policies[i].CrossGraphPrefetch = true
 		}
 	}
-	rs, err := sweep.Executor{Workers: parallel}.Run(sweep.Spec{
+	rs, err := sweep.Executor{Workers: parallel, Store: store}.Run(sweep.Spec{
 		Workloads: []sweep.Workload{{Seq: seq}},
 		RUs:       units,
 		Latencies: []simtime.Time{latency},

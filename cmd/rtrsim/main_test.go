@@ -1,6 +1,36 @@
 package main
 
-import "testing"
+import (
+	"testing"
+
+	"repro/internal/resultstore"
+)
+
+func TestStoreFlagResolution(t *testing.T) {
+	if s, err := resultstore.OpenIfSet("", false); err != nil || s != nil {
+		t.Errorf("empty dir: store %v, err %v", s, err)
+	}
+	if s, err := resultstore.OpenIfSet(t.TempDir(), true); err != nil || s != nil {
+		t.Errorf("-no-store: store %v, err %v", s, err)
+	}
+	s, err := resultstore.OpenIfSet(t.TempDir(), false)
+	if err != nil || s == nil {
+		t.Fatalf("valid dir: store %v, err %v", s, err)
+	}
+	if hits, misses, puts := s.Stats(); hits+misses+puts != 0 {
+		t.Error("fresh store has non-zero stats")
+	}
+	if _, err := resultstore.RunGC(nil); err == nil {
+		t.Error("-store-gc without a store accepted")
+	}
+	line, err := resultstore.RunGC(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if line != "store gc: removed 0 stale entries, kept 0 ("+s.Dir()+")" {
+		t.Errorf("gc line %q", line)
+	}
+}
 
 func TestBuildWorkload(t *testing.T) {
 	fig2, err := buildWorkload("fig2", 0, 0)

@@ -45,7 +45,14 @@ func Ablation(opt Options, w io.Writer) error {
 		lruSeries(),
 		sweep.Fixed("FIFO", policy.NewFIFO()),
 		sweep.Fixed("MRU", policy.NewMRU()),
-		{Name: "Random", New: func() (policy.Policy, error) { return policy.NewRandom(opt.Seed), nil }},
+		{
+			// Hand-built spec: the Key must carry the seed (the display
+			// name "Random" would alias differently-seeded runs in the
+			// result store).
+			Name: "Random",
+			Key:  fmt.Sprintf("random:%d", opt.Seed),
+			New:  func() (policy.Policy, error) { return policy.NewRandom(opt.Seed), nil },
+		},
 		lfdSeries(),
 	}
 	baseOff := len(series)

@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/dynlist"
 	"repro/internal/policy"
+	"repro/internal/resultstore"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
 	"repro/internal/taskgraph"
@@ -46,6 +47,12 @@ type Options struct {
 	// the sweep-backed experiments (≤0: one per CPU). Reports are
 	// byte-identical at every setting; see internal/sweep.
 	Parallel int
+	// Store, when non-nil, persists scenario results keyed by canonical
+	// config hash: every grid experiment transparently serves unchanged
+	// scenarios from disk on re-runs, with reports byte-identical to a
+	// cold run. Trace-consuming experiments (fig2, fig3, energy) bypass
+	// it. See internal/resultstore.
+	Store *resultstore.Store
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -106,9 +113,9 @@ func (o Options) sequence() ([]*taskgraph.Graph, error) {
 }
 
 // executor returns the scenario executor the sweep-backed experiments
-// share, honouring the Parallel option.
+// share, honouring the Parallel and Store options.
 func (o Options) executor() sweep.Executor {
-	return sweep.Executor{Workers: o.Parallel}
+	return sweep.Executor{Workers: o.Parallel, Store: o.Store}
 }
 
 // sweepWorkload wraps the Fig. 9 inputs as a sweep workload.

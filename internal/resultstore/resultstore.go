@@ -1,0 +1,249 @@
+// Package resultstore persists simulated scenario results in a
+// content-addressed on-disk store, keyed by a canonical config hash of
+// every input that determines the outcome (workload content, unit count,
+// latency, policy specifier, feature flags, schema version).
+//
+// The store is the simulator practicing what it simulates: the paper's
+// replacement technique avoids redoing reconfiguration work whose result
+// is already resident, and the store avoids redoing simulation work whose
+// result is already on disk. A sweep re-run with an overlapping grid
+// serves the unchanged scenarios from the store and only simulates the
+// new ones; internal/sweep guarantees the warm results are byte-identical
+// to a cold run.
+//
+// Layout: DIR/objects/<k0k1>/<key>.json, one JSON Entry per scenario,
+// fanned out on the first two hex digits of the key. Writes go through a
+// temp file plus rename, so concurrent writers (including separate
+// processes sharing one store directory) never expose a torn entry.
+//
+// Invalidation: every entry records the SchemaVersion it was written
+// under. A version bump makes old entries unreadable (Get treats them as
+// misses — they can never poison a report) and GC deletes them, along
+// with entries that fail to decode or whose recorded key does not match
+// their filename.
+package resultstore
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// SchemaVersion identifies the entry layout and the config-hash recipe.
+// Bump it whenever either changes: the Entry fields, the serialized
+// subset of a run result, or the set of inputs folded into scenario keys
+// (see internal/sweep's golden hash test). Old entries then read as
+// misses and `rtrsim -store-gc` reclaims them.
+const SchemaVersion = 1
+
+// Store is a content-addressed result store rooted at a directory. The
+// zero value is not usable; call Open. A Store is safe for concurrent use.
+type Store struct {
+	dir string
+
+	hits   atomic.Int64
+	misses atomic.Int64
+	puts   atomic.Int64
+
+	writeFailures atomic.Int64
+	firstWriteErr atomic.Pointer[string]
+}
+
+// OpenIfSet resolves the CLI store flags: a nil Store (run without one)
+// when dir is empty or the store is disabled, an opened store otherwise.
+func OpenIfSet(dir string, disabled bool) (*Store, error) {
+	if disabled || dir == "" {
+		return nil, nil
+	}
+	return Open(dir)
+}
+
+// Open creates (if needed) and opens the store rooted at dir.
+func Open(dir string) (*Store, error) {
+	if dir == "" {
+		return nil, errors.New("resultstore: empty store directory")
+	}
+	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
+		return nil, fmt.Errorf("resultstore: %w", err)
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// keyLen is the length of a canonical key: lowercase hex SHA-256.
+const keyLen = 64
+
+// path maps a key to its entry file, fanning out on the leading hex
+// digits to keep directories small under large grids.
+func (s *Store) path(key string) (string, error) {
+	if len(key) != keyLen || strings.ContainsAny(key, "/\\.") {
+		return "", fmt.Errorf("resultstore: malformed key %q", key)
+	}
+	return filepath.Join(s.dir, "objects", key[:2], key+".json"), nil
+}
+
+// Get looks the key up. A missing, undecodable, wrong-schema or
+// wrong-key entry is a miss, never an error: the store degrades to
+// re-simulation, it does not fail a sweep. The returned Entry is owned by
+// the caller.
+func (s *Store) Get(key string) (*Entry, bool) {
+	p, err := s.path(key)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	var e Entry
+	if err := json.Unmarshal(data, &e); err != nil ||
+		e.Schema != SchemaVersion || e.Key != key || e.Run == nil {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return &e, true
+}
+
+// Put writes the entry under key, stamping the current schema version and
+// the key into it. The write is atomic (temp file + rename), so a
+// concurrent Get sees either the old entry or the new one, never a torn
+// file. Failures are additionally recorded on the store (see
+// SummaryLine): a full or read-only store directory must degrade to
+// re-simulation on the next run, never lose a computed sweep.
+func (s *Store) Put(key string, e *Entry) error {
+	if err := s.put(key, e); err != nil {
+		s.writeFailures.Add(1)
+		msg := err.Error()
+		s.firstWriteErr.CompareAndSwap(nil, &msg)
+		return err
+	}
+	s.puts.Add(1)
+	return nil
+}
+
+func (s *Store) put(key string, e *Entry) error {
+	p, err := s.path(key)
+	if err != nil {
+		return err
+	}
+	e.Schema = SchemaVersion
+	e.Key = key
+	data, err := json.Marshal(e)
+	if err != nil {
+		return fmt.Errorf("resultstore: encode %s: %w", key, err)
+	}
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key[:8]+"-*.tmp")
+	if err != nil {
+		return fmt.Errorf("resultstore: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: write %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), p); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("resultstore: commit %s: %w", key, err)
+	}
+	return nil
+}
+
+// Stats reports the cumulative lookup and write counters since Open.
+func (s *Store) Stats() (hits, misses, puts int64) {
+	return s.hits.Load(), s.misses.Load(), s.puts.Load()
+}
+
+// SummaryLine renders the counters as the one-line digest the CLIs print
+// (to stderr, so stored-result reports stay byte-identical on stdout).
+// Degraded writes are appended so a full or read-only store directory is
+// visible even though it never fails a run.
+func (s *Store) SummaryLine() string {
+	hits, misses, puts := s.Stats()
+	line := fmt.Sprintf("result store: %d hits, %d misses, %d entries written (%s)",
+		hits, misses, puts, s.dir)
+	if fails := s.writeFailures.Load(); fails > 0 {
+		line += fmt.Sprintf("; %d writes FAILED (first: %s)", fails, *s.firstWriteErr.Load())
+	}
+	return line
+}
+
+// RunGC is the CLIs' shared -store-gc entry point: it garbage-collects
+// the store and returns the printable one-line digest (which the CI
+// determinism gate greps — keep the format stable). A nil store is the
+// flag-resolution error.
+func RunGC(s *Store) (string, error) {
+	if s == nil {
+		return "", errors.New("-store-gc needs a store directory (-store DIR or $RTR_STORE)")
+	}
+	st, err := s.GC()
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("store gc: removed %d stale entries, kept %d (%s)",
+		st.Removed, st.Kept, s.dir), nil
+}
+
+// GCStats summarizes one garbage collection pass.
+type GCStats struct {
+	// Kept is the number of valid current-schema entries left in place.
+	Kept int
+	// Removed is the number of files deleted: stale-schema entries,
+	// undecodable files, entries whose key does not match their filename,
+	// and leftover temp files from interrupted writes.
+	Removed int
+}
+
+// GC walks the store and deletes every entry that the current code could
+// never serve: wrong schema version, undecodable JSON, or a recorded key
+// that does not match the filename. Leftover temp files are removed too.
+func (s *Store) GC() (GCStats, error) {
+	var st GCStats
+	root := filepath.Join(s.dir, "objects")
+	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		if strings.HasSuffix(p, ".tmp") {
+			if os.Remove(p) == nil {
+				st.Removed++
+			}
+			return nil
+		}
+		key := strings.TrimSuffix(filepath.Base(p), ".json")
+		data, err := os.ReadFile(p)
+		var e Entry
+		valid := err == nil &&
+			json.Unmarshal(data, &e) == nil &&
+			e.Schema == SchemaVersion && e.Key == key && e.Run != nil
+		if valid {
+			st.Kept++
+			return nil
+		}
+		if err := os.Remove(p); err != nil {
+			return err
+		}
+		st.Removed++
+		return nil
+	})
+	if err != nil {
+		return st, fmt.Errorf("resultstore: gc: %w", err)
+	}
+	return st, nil
+}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/policy"
+	"repro/internal/resultstore"
 	"repro/internal/taskgraph"
 )
 
@@ -21,11 +22,22 @@ import (
 // paper's figures do — and the design-time mobility tables once per
 // (template, RUs, latency) through the process-wide mobility cache. The
 // first scenario error cancels the remaining work.
+//
+// With a Store attached, every scenario's canonical config hash is looked
+// up before it is dispatched to the pool: hits are served from disk
+// (neither the simulation nor its ideal baseline reruns) and misses are
+// written back on completion. Stored results carry the exact counters,
+// completions and summary of a live run, so a warm sweep's ResultSet is
+// byte-identical in every report to a cold one. Specs the store cannot
+// identify canonically (see Spec.Cacheable) bypass it transparently.
 type Executor struct {
 	// Workers bounds the number of concurrently running scenarios; values
 	// ≤ 0 mean runtime.GOMAXPROCS(0). Workers == 1 is the sequential
 	// execution the determinism tests compare against.
 	Workers int
+	// Store, when non-nil, persists scenario results keyed by canonical
+	// config hash and serves overlapping re-runs from disk.
+	Store *resultstore.Store
 }
 
 // Run executes every scenario of spec and returns the results in spec
@@ -40,6 +52,18 @@ func (e Executor) Run(spec Spec) (*ResultSet, error) {
 	scenarios, err := sp.Expand()
 	if err != nil {
 		return nil, err
+	}
+	// Canonical config hashes, precomputed once per sweep (the workload
+	// content hash dominates and is shared by every scenario of an axis
+	// value). An uncacheable spec bypasses the store; a duplicate-hash
+	// grid is a real error even though Expand's structural check passed.
+	var keys []string
+	if e.Store != nil && sp.Cacheable() == nil {
+		ks, err := sp.scenarioKeysFor(scenarios)
+		if err != nil {
+			return nil, err
+		}
+		keys = ks
 	}
 	workers := e.Workers
 	if workers <= 0 {
@@ -64,7 +88,11 @@ func (e Executor) Run(spec Spec) (*ResultSet, error) {
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				res, err := runScenario(&sp, scenarios[i], ideals)
+				var key string
+				if keys != nil {
+					key = keys[i]
+				}
+				res, err := e.runStored(&sp, scenarios[i], ideals, key)
 				if err != nil {
 					errs[i] = err
 					cancel()
@@ -91,6 +119,51 @@ feed:
 		}
 	}
 	return &ResultSet{Spec: &sp, Results: results}, nil
+}
+
+// runStored serves one scenario from the result store when possible and
+// simulates (then writes back) otherwise. key is empty when the sweep
+// runs without a store.
+func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key string) (*Result, error) {
+	if key != "" {
+		if ent, ok := e.Store.Get(key); ok {
+			if res := resultFromEntry(sp, sc, ent); res != nil {
+				return res, nil
+			}
+		}
+	}
+	res, err := runScenario(sp, sc, ideals)
+	if err != nil || key == "" {
+		return res, err
+	}
+	ent := &resultstore.Entry{
+		Scenario: sc.Name(),
+		Run:      resultstore.RecordRun(res.Run),
+		Ideal:    resultstore.RecordRun(res.Ideal),
+		Summary:  res.Summary,
+	}
+	// A failed write (full disk, read-only store) must not lose the
+	// computed sweep: the store degrades to re-simulation next run and
+	// reports the failure in its summary line.
+	_ = e.Store.Put(key, ent)
+	return res, nil
+}
+
+// resultFromEntry rebuilds a scenario result from a store entry, or
+// returns nil when the entry lacks a part this sweep needs (only possible
+// for a hand-damaged store — the baseline flag is part of the key).
+func resultFromEntry(sp *Spec, sc Scenario, ent *resultstore.Entry) *Result {
+	res := &Result{Scenario: sc, Run: ent.Run.Result()}
+	if sp.NoBaseline {
+		return res
+	}
+	if ent.Ideal == nil || ent.Summary == nil {
+		return nil
+	}
+	res.Ideal = ent.Ideal.Result()
+	sum := *ent.Summary
+	res.Summary = &sum
+	return res
 }
 
 // runScenario simulates one scenario: fresh policy instance, shared

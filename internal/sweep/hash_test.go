@@ -1,0 +1,148 @@
+package sweep
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// goldenSpec is a small, fully deterministic grid over the paper's Fig. 2
+// workload: stable content, every policy constructor, both skip states
+// and a no-baseline variant.
+func goldenSpec() Spec {
+	seq := workload.Fig2Sequence()
+	return Spec{
+		Workloads: []Workload{{Label: "fig2", Seq: seq}},
+		RUs:       []int{4},
+		Latencies: []simtime.Time{workload.PaperLatency()},
+		Policies: []PolicySpec{
+			mustFromSpec("lru", false),
+			mustFromSpec("locallfd:1", true),
+			mustFromSpec("lfd", false),
+		},
+	}
+}
+
+func mustFromSpec(spec string, skip bool) PolicySpec {
+	p, err := FromSpec(spec, skip)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TestScenarioKeysGolden pins the canonical config hashes for
+// representative scenarios. These keys name entries in every persisted
+// result store: if this test fails, the hash recipe changed and every
+// existing store is silently invalidated (or worse, mis-addressed). That
+// may be intentional — then bump resultstore.SchemaVersion, regenerate
+// the constants below (the failure message prints the new values) and
+// say so in CHANGES.md — but it must never happen by accident.
+func TestScenarioKeysGolden(t *testing.T) {
+	spec := goldenSpec()
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"9ee050cfc3347e5200c9ba4d3d2580a06ff55cedba55ab96399d15e53407a74b",
+		"0680b70f9df92e3bc8ce118468d5f5da260cace0b4d2d4c71ea85f7a33df21a0",
+		"9538aca6a156bdec65a62e477ce8ade3d2310bfaa248ce996a686cbc3ed09e1b",
+	}
+	if len(keys) != len(want) {
+		t.Fatalf("%d keys for %d scenarios", len(keys), len(want))
+	}
+	for i, k := range keys {
+		if k != want[i] {
+			t.Errorf("scenario %d key\n got %s\nwant %s\n(hash inputs changed — bump resultstore.SchemaVersion and regenerate)", i, k, want[i])
+		}
+	}
+
+	noBase := spec
+	noBase.NoBaseline = true
+	nbKeys, err := noBase.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	const wantNoBase = "6e4b9166b787cbd3909f4def0df1fd68e8c293ef2f8af491aa2d46427a7eae9f"
+	if nbKeys[0] != wantNoBase {
+		t.Errorf("no-baseline key\n got %s\nwant %s", nbKeys[0], wantNoBase)
+	}
+}
+
+// TestScenarioKeysSensitivity checks every declared hash input actually
+// moves the hash, and that recomputation is stable.
+func TestScenarioKeysSensitivity(t *testing.T) {
+	base := goldenSpec()
+	baseKeys, err := base.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	recomputed := goldenSpec()
+	again, err := recomputed.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range baseKeys {
+		if baseKeys[i] != again[i] {
+			t.Fatalf("keys unstable across recomputation at %d", i)
+		}
+	}
+	// All scenarios of one grid are pairwise distinct.
+	seen := map[string]bool{}
+	for _, k := range baseKeys {
+		if seen[k] {
+			t.Fatalf("key %s repeats within the grid", k)
+		}
+		seen[k] = true
+	}
+
+	mutations := map[string]func(*Spec){
+		"rus":      func(s *Spec) { s.RUs = []int{5} },
+		"latency":  func(s *Spec) { s.Latencies = []simtime.Time{simtime.FromMs(8)} },
+		"label":    func(s *Spec) { s.Workloads[0].Label = "renamed" },
+		"sequence": func(s *Spec) { s.Workloads[0].Seq = s.Workloads[0].Seq[:3] },
+		"name":     func(s *Spec) { s.Policies[0].Name = "LRU (display)" },
+		"skip":     func(s *Spec) { s.Policies[0].Skip = true },
+		"prefetch": func(s *Spec) { s.Policies[0].CrossGraphPrefetch = true },
+		"conserve": func(s *Spec) { s.Policies[0].ConservativePrefetch = true },
+	}
+	for name, mutate := range mutations {
+		t.Run(name, func(t *testing.T) {
+			spec := goldenSpec()
+			mutate(&spec)
+			keys, err := spec.ScenarioKeys()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if keys[0] == baseKeys[0] {
+				t.Errorf("mutating %s left the scenario key unchanged", name)
+			}
+		})
+	}
+}
+
+// TestCacheable enumerates the uncacheable spec shapes.
+func TestCacheable(t *testing.T) {
+	ok := goldenSpec()
+	if err := ok.Cacheable(); err != nil {
+		t.Errorf("golden spec uncacheable: %v", err)
+	}
+	traced := goldenSpec()
+	traced.RecordTrace = true
+	if err := traced.Cacheable(); err == nil {
+		t.Error("trace-recording spec reported cacheable")
+	}
+	het := goldenSpec()
+	het.LatencyFor = func(taskgraph.TaskID) simtime.Time { return 0 }
+	if err := het.Cacheable(); err == nil {
+		t.Error("per-task-latency spec reported cacheable")
+	}
+	nokey := goldenSpec()
+	nokey.Policies[0].Key = ""
+	if err := nokey.Cacheable(); err == nil {
+		t.Error("keyless policy spec reported cacheable")
+	}
+}

@@ -28,6 +28,7 @@ package sweep
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/manager"
 	"repro/internal/metrics"
@@ -55,6 +56,13 @@ type Workload struct {
 type PolicySpec struct {
 	// Name is the display name used in reports and summaries.
 	Name string
+	// Key is the canonical policy identity folded into scenario config
+	// hashes ("lru", "locallfd:2", "random:7", …). The constructors below
+	// set it; hand-built specs that leave it empty make the whole Spec
+	// ineligible for the persisted result store (see Spec.ScenarioKeys).
+	// It must fully determine the policy's behaviour: two specs may share
+	// a Key only if their New constructors build equivalent policies.
+	Key string
 	// New builds a fresh policy instance. It is called once per scenario,
 	// so stateful policies (Random) never cross goroutines.
 	New func() (policy.Policy, error)
@@ -69,9 +77,15 @@ type PolicySpec struct {
 
 // Fixed wraps an existing policy instance under a display name. The
 // instance is shared by every scenario of the axis value; use it only for
-// stateless policies (LRU, MRU, FIFO, LFD, Local LFD).
+// stateless policies (LRU, MRU, FIFO, LFD, Local LFD) — which is also why
+// the policy's own Name() can serve as the store identity Key (a stateful
+// policy's name would not capture its seed).
 func Fixed(name string, p policy.Policy) PolicySpec {
-	return PolicySpec{Name: name, New: func() (policy.Policy, error) { return p, nil }}
+	return PolicySpec{
+		Name: name,
+		Key:  "fixed:" + p.Name(),
+		New:  func() (policy.Policy, error) { return p, nil },
+	}
 }
 
 // FromSpec builds the policy axis value from a CLI-style specifier
@@ -88,6 +102,7 @@ func FromSpec(spec string, skip bool) (PolicySpec, error) {
 	}
 	return PolicySpec{
 		Name: name,
+		Key:  strings.ToLower(strings.TrimSpace(spec)),
 		New:  func() (policy.Policy, error) { return policy.Parse(spec) },
 		Skip: skip,
 	}, nil
@@ -103,6 +118,7 @@ func LocalLFD(w int, skip bool) PolicySpec {
 	}
 	return PolicySpec{
 		Name: name,
+		Key:  fmt.Sprintf("locallfd:%d", w),
 		New:  func() (policy.Policy, error) { return policy.NewLocalLFD(w) },
 		Skip: skip,
 	}
@@ -132,7 +148,11 @@ func (s Spec) Size() int {
 	return len(s.Workloads) * len(s.RUs) * len(s.Latencies) * len(s.Policies)
 }
 
-// validate checks the axes are usable.
+// validate checks the axes are usable and free of duplicates. A repeated
+// axis value would expand to two scenarios with the same config hash —
+// the same simulation run twice and, with a result store attached, two
+// writers racing on one key — so it is rejected with a pointed error
+// instead of silently doubling the work.
 func (s Spec) validate() error {
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("sweep: no workloads")
@@ -141,27 +161,89 @@ func (s Spec) validate() error {
 		if len(w.Seq) == 0 {
 			return fmt.Errorf("sweep: workload %d (%q) has an empty sequence", i, w.Label)
 		}
+		for j := range s.Workloads[:i] {
+			if sameWorkload(&s.Workloads[j], &s.Workloads[i]) {
+				return fmt.Errorf("sweep: workloads %d and %d are duplicates (label %q) — every scenario of one would rerun the other's", j, i, w.Label)
+			}
+		}
 	}
 	if len(s.RUs) == 0 {
 		return fmt.Errorf("sweep: no RU counts")
 	}
-	for _, r := range s.RUs {
+	seenRU := make(map[int]int, len(s.RUs))
+	for i, r := range s.RUs {
 		if r < 1 {
 			return fmt.Errorf("sweep: bad RU count %d", r)
 		}
+		if j, dup := seenRU[r]; dup {
+			return fmt.Errorf("sweep: duplicate RU count %d at axis positions %d and %d", r, j, i)
+		}
+		seenRU[r] = i
 	}
 	if len(s.Latencies) == 0 {
 		return fmt.Errorf("sweep: no latencies")
 	}
+	seenLat := make(map[simtime.Time]int, len(s.Latencies))
+	for i, l := range s.Latencies {
+		if j, dup := seenLat[l]; dup {
+			return fmt.Errorf("sweep: duplicate latency %v at axis positions %d and %d", l, j, i)
+		}
+		seenLat[l] = i
+	}
 	if len(s.Policies) == 0 {
 		return fmt.Errorf("sweep: no policies")
 	}
+	seenPol := make(map[policyIdentity]int, len(s.Policies))
 	for i, p := range s.Policies {
 		if p.New == nil {
 			return fmt.Errorf("sweep: policy %d (%q) has no constructor", i, p.Name)
 		}
+		id := p.identity()
+		if j, dup := seenPol[id]; dup {
+			return fmt.Errorf("sweep: policies %d and %d (%q) are duplicates — same policy and feature flags", j, i, p.Name)
+		}
+		seenPol[id] = i
 	}
 	return nil
+}
+
+// policyIdentity is the comparable tuple that makes two policy axis
+// values the same scenario: the canonical key (falling back to the
+// display name for hand-built specs) plus every feature flag.
+type policyIdentity struct {
+	key, name                string
+	skip, prefetch, conserve bool
+}
+
+func (p PolicySpec) identity() policyIdentity {
+	key := p.Key
+	if key == "" {
+		key = "name:" + p.Name
+	}
+	return policyIdentity{
+		key: key, name: p.Name,
+		skip: p.Skip, prefetch: p.CrossGraphPrefetch, conserve: p.ConservativePrefetch,
+	}
+}
+
+// sameWorkload reports whether two workloads would simulate identically:
+// same label, same pool templates and same arrival sequence (by template
+// identity, which is what mobility tables and the manager key on).
+func sameWorkload(a, b *Workload) bool {
+	if a.Label != b.Label || len(a.Pool) != len(b.Pool) || len(a.Seq) != len(b.Seq) {
+		return false
+	}
+	for i := range a.Pool {
+		if a.Pool[i] != b.Pool[i] {
+			return false
+		}
+	}
+	for i := range a.Seq {
+		if a.Seq[i] != b.Seq[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Scenario is one fully-specified simulation drawn from a Spec. The

@@ -1,0 +1,196 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/policy"
+	"repro/internal/resultstore"
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+func openStore(t *testing.T) *resultstore.Store {
+	t.Helper()
+	s, err := resultstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// TestStoreWarmRunIdentical is the reuse pin: a second identical sweep
+// against the same store simulates nothing (every scenario is a hit) and
+// returns results field-for-field identical to the cold run — the
+// property the CI determinism gate enforces end to end on the CLI.
+func TestStoreWarmRunIdentical(t *testing.T) {
+	spec := fig9Spec(t, 4, 5)
+	store := openStore(t)
+	ex := Executor{Workers: 4, Store: store}
+
+	cold, err := ex.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, misses, puts := store.Stats()
+	if hits != 0 || misses != int64(spec.Size()) || puts != int64(spec.Size()) {
+		t.Fatalf("cold run stats hits=%d misses=%d puts=%d, want 0/%d/%d",
+			hits, misses, puts, spec.Size(), spec.Size())
+	}
+
+	// The warm run must not simulate: a policy axis whose constructor
+	// panics proves no scenario was dispatched.
+	warmSpec := spec
+	warmSpec.Policies = make([]PolicySpec, len(spec.Policies))
+	for i, p := range spec.Policies {
+		warmSpec.Policies[i] = p
+		warmSpec.Policies[i].New = func() (policy.Policy, error) {
+			panic("warm run dispatched a scenario to the simulator")
+		}
+	}
+	warm, err := ex.Run(warmSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, _, puts = store.Stats()
+	if hits != int64(spec.Size()) || puts != int64(spec.Size()) {
+		t.Fatalf("warm run stats hits=%d puts=%d, want %d hits and no new writes",
+			hits, puts, spec.Size())
+	}
+
+	for i := range cold.Results {
+		c, w := cold.Results[i], warm.Results[i]
+		if !reflect.DeepEqual(c.Summary, w.Summary) {
+			t.Errorf("scenario %d summary diverged:\ncold %+v\nwarm %+v", i, c.Summary, w.Summary)
+		}
+		cr, wr := *c.Run, *w.Run
+		cr.Templates, wr.Templates = nil, nil // in-memory only, never reported
+		if !reflect.DeepEqual(cr, wr) {
+			t.Errorf("scenario %d run diverged:\ncold %+v\nwarm %+v", i, cr, wr)
+		}
+		if c.Ideal.Makespan != w.Ideal.Makespan || c.Ideal.Executed != w.Ideal.Executed {
+			t.Errorf("scenario %d ideal diverged", i)
+		}
+	}
+}
+
+// TestStoreMissOnChangedConfig: any change to a hash input — workload
+// seed, RU count, latency, policy, a feature flag — must miss.
+func TestStoreMissOnChangedConfig(t *testing.T) {
+	store := openStore(t)
+	ex := Executor{Workers: 2, Store: store}
+	base := fig9Spec(t, 4)
+	base.Policies = base.Policies[:1] // LRU only: 1 scenario
+	if _, err := ex.Run(base); err != nil {
+		t.Fatal(err)
+	}
+
+	variants := map[string]func(Spec) Spec{
+		"rus":     func(s Spec) Spec { s.RUs = []int{5}; return s },
+		"latency": func(s Spec) Spec { s.Latencies = []simtime.Time{simtime.FromMs(8)}; return s },
+		"policy": func(s Spec) Spec {
+			s.Policies = []PolicySpec{Fixed("MRU", policy.NewMRU())}
+			return s
+		},
+		"flag": func(s Spec) Spec {
+			p := s.Policies[0]
+			p.CrossGraphPrefetch = true
+			s.Policies = []PolicySpec{p}
+			return s
+		},
+		"baseline": func(s Spec) Spec { s.NoBaseline = true; return s },
+		"workload": func(s Spec) Spec {
+			other := fig9Spec(t, 4) // fresh draw shares content but not templates…
+			s.Workloads = []Workload{{Label: "other", Pool: other.Workloads[0].Pool, Seq: other.Workloads[0].Seq[:30]}}
+			return s
+		},
+	}
+	for name, mutate := range variants {
+		t.Run(name, func(t *testing.T) {
+			_, missesBefore, _ := store.Stats()
+			if _, err := ex.Run(mutate(base)); err != nil {
+				t.Fatal(err)
+			}
+			_, missesAfter, _ := store.Stats()
+			if missesAfter == missesBefore {
+				t.Errorf("changed %s did not miss the store", name)
+			}
+		})
+	}
+}
+
+// TestStoreBypassesUncacheableSpecs: trace-recording sweeps and per-task
+// latency sweeps run correctly and leave the store untouched.
+func TestStoreBypassesUncacheableSpecs(t *testing.T) {
+	store := openStore(t)
+	ex := Executor{Workers: 2, Store: store}
+
+	traced := fig9Spec(t, 4)
+	traced.Policies = traced.Policies[:1]
+	traced.RecordTrace = true
+	rs, err := ex.Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.Results[0].Run.Trace == nil {
+		t.Error("trace-recording sweep lost its trace")
+	}
+
+	het := fig9Spec(t, 4)
+	het.Policies = het.Policies[:1]
+	het.LatencyFor = func(taskgraph.TaskID) simtime.Time { return simtime.FromMs(2) }
+	het.NoBaseline = true
+	if _, err := ex.Run(het); err != nil {
+		t.Fatal(err)
+	}
+
+	noKey := fig9Spec(t, 4)
+	noKey.Policies = []PolicySpec{{Name: "hand-built", New: func() (policy.Policy, error) { return policy.NewLRU(), nil }}}
+	if _, err := ex.Run(noKey); err != nil {
+		t.Fatal(err)
+	}
+
+	if hits, misses, puts := store.Stats(); hits != 0 || misses != 0 || puts != 0 {
+		t.Errorf("uncacheable sweeps touched the store: %d/%d/%d", hits, misses, puts)
+	}
+}
+
+// TestDuplicateAxisValuesRejected: a repeated axis value is the same
+// scenario hash twice in one grid and must fail loudly, not run twice.
+func TestDuplicateAxisValuesRejected(t *testing.T) {
+	cases := map[string]func(*Spec){
+		"rus":      func(s *Spec) { s.RUs = []int{4, 5, 4} },
+		"latency":  func(s *Spec) { s.Latencies = append(s.Latencies, s.Latencies[0]) },
+		"policy":   func(s *Spec) { s.Policies = append(s.Policies, s.Policies[0]) },
+		"workload": func(s *Spec) { s.Workloads = append(s.Workloads, s.Workloads[0]) },
+	}
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			spec := fig9Spec(t, 4, 5)
+			mutate(&spec)
+			if _, err := spec.Expand(); err == nil {
+				t.Fatalf("duplicate %s axis value accepted", name)
+			} else if !strings.Contains(err.Error(), "duplicate") {
+				t.Errorf("error %q does not name the duplicate", err)
+			}
+			if _, err := Run(spec); err == nil {
+				t.Fatalf("sweep with duplicate %s axis value ran", name)
+			}
+		})
+	}
+	// Distinct display names over the same configuration are still two
+	// identical simulations — rejected too.
+	spec := fig9Spec(t, 4)
+	renamed := spec.Policies[0]
+	renamed.Name = "LRU (again)"
+	spec.Policies = append(spec.Policies, renamed)
+	if _, err := spec.Expand(); err != nil {
+		t.Fatalf("renamed duplicate rejected structurally: %v — want hash-level rejection only", err)
+	}
+	if _, err := spec.ScenarioKeys(); err != nil {
+		// Renaming changes the hash (the name is reported output), so
+		// this is a valid, distinct grid for the store too.
+		t.Fatalf("renamed series should hash distinctly: %v", err)
+	}
+}
