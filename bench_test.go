@@ -10,6 +10,7 @@ package taskreuse_test
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"repro/internal/dynlist"
@@ -249,6 +250,114 @@ func BenchmarkFig9SweepWarmStore(b *testing.B) {
 	if _, misses, _ := store.Stats(); misses != int64(spec.Size()) {
 		b.Fatalf("warm iterations missed the store (%d misses beyond the cold run's %d)",
 			misses-int64(spec.Size()), spec.Size())
+	}
+}
+
+// BenchmarkFig9SweepDispatch isolates the heavy-tail dispatch fix on a
+// small pool, in the grid shape where a static spec-order feed is
+// weakest: clairvoyant LFD at R=4 costs ~20× LRU (full-future scans
+// under maximum contention), and on a descending-RU grid — a perfectly
+// natural way to write the axis — that most expensive scenario has the
+// highest spec index, so spec order starts it when everything else is
+// already draining and the whole pool idles behind one straggler.
+// Cost-order (longest-processing-time) dispatch starts it first and
+// backfills with the cheap scenarios, cutting the tail regardless of
+// how the user happened to order the axes. Collection order and results
+// are byte-identical either way (see TestSpecOrderDispatchIdentical);
+// the ascending Fig. 9 grids dodge the worst case only by luck of
+// putting R=4 first.
+func BenchmarkFig9SweepDispatch(b *testing.B) {
+	pool, seq := fig9Workload(b)
+	spec := fig9SweepSpec(b, pool, seq)
+	spec.RUs = []int{10, 9, 8, 7, 6, 5, 4} // expensive contended scenarios last in spec order
+	// Warm the shared design-time cache so the measurement isolates
+	// dispatch strategy, not the one-off mobility computation.
+	if _, err := (sweep.Executor{}).Run(spec); err != nil {
+		b.Fatal(err)
+	}
+	for _, bc := range []struct {
+		name      string
+		specOrder bool
+	}{
+		{"SpecOrder", true},
+		{"CostOrderLPT", false},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			ex := sweep.Executor{Workers: 4, SpecOrderDispatch: bc.specOrder}
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := ex.RunSummaries(spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// benchSink keeps a benchmark's output conservatively live so the
+// retained-memory measurements below can't be optimized away.
+var benchSink any
+
+// BenchmarkFig9SweepSummary contrasts what a completed sweep pins in
+// memory: a full ResultSet (every raw run and ideal baseline, O(grid)
+// completion-time slices) versus the streaming SummaryCollector rows
+// (scalar counters only). The retained-B/scn metric is measured
+// directly — heap in use holding the output minus heap after dropping
+// it, per scenario — and must stay flat for the summary stream as the
+// grid grows from 3 to 7 unit counts, while the ResultSet's grows with
+// the workload. This is the memory story behind sharded, store-merged
+// grids: no process ever needs the whole grid resident.
+func BenchmarkFig9SweepSummary(b *testing.B) {
+	pool, seq := fig9Workload(b)
+	for _, grid := range []struct {
+		name string
+		rus  []int
+	}{
+		{"R4-6", []int{4, 5, 6}},
+		{"R4-10", []int{4, 5, 6, 7, 8, 9, 10}},
+	} {
+		spec := fig9SweepSpec(b, pool, seq)
+		spec.RUs = grid.rus
+		if _, err := (sweep.Executor{}).Run(spec); err != nil {
+			b.Fatal(err) // warm the mobility cache
+		}
+		measureRetained := func(b *testing.B, run func() any) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				benchSink = run()
+			}
+			b.StopTimer()
+			var with, without runtime.MemStats
+			runtime.GC()
+			runtime.ReadMemStats(&with)
+			benchSink = nil
+			runtime.GC()
+			runtime.ReadMemStats(&without)
+			retained := int64(with.HeapAlloc) - int64(without.HeapAlloc)
+			if retained < 0 {
+				retained = 0
+			}
+			b.ReportMetric(float64(retained)/float64(spec.Size()), "retained-B/scn")
+		}
+		ex := sweep.Executor{}
+		b.Run("ResultSet/"+grid.name, func(b *testing.B) {
+			measureRetained(b, func() any {
+				rs, err := ex.Run(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return rs
+			})
+		})
+		b.Run("SummaryStream/"+grid.name, func(b *testing.B) {
+			measureRetained(b, func() any {
+				ss, err := ex.RunSummaries(spec)
+				if err != nil {
+					b.Fatal(err)
+				}
+				return ss
+			})
+		})
 	}
 }
 

@@ -12,6 +12,22 @@
 // scenarios already on disk instead of re-simulating them and the reports
 // stay byte-identical — CI runs the suite twice into one store and diffs
 // the outputs. The hit/miss digest goes to stderr, never into a report.
+//
+// A sweep too large for one machine splits across hosts sharing a store:
+//
+//	host A:  rtrrepro -store /shared/store -shard 0/2   # no report; populates
+//	host B:  rtrrepro -store /shared/store -shard 1/2
+//	any:     rtrrepro -store /shared/store -merge-report > report.txt
+//
+// Shard i/N runs every grid experiment's scenarios whose spec index ≡ i
+// (mod N) into the store and renders nothing (a per-shard digest —
+// scenarios ran, skipped by other shards, store hits/misses — goes to
+// stderr). -merge-report renders the full suite purely from the store:
+// a grid scenario missing from it is an error, never a silent
+// re-simulation, so the merged report is byte-identical to a
+// single-process run — CI enforces exactly that. Experiments with
+// nothing to persist (worked examples, timing tables, trace or
+// per-task-latency sweeps) run live at merge time.
 package main
 
 import (
@@ -38,6 +54,8 @@ func main() {
 		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store directory (default: $RTR_STORE); warm re-runs serve unchanged scenarios from disk")
 		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
 		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
+		shardStr = flag.String("shard", "", "run only shard i/N of every grid experiment into -store (e.g. \"0/2\"); renders no report")
+		merge    = flag.Bool("merge-report", false, "render the report purely from -store (populated by N -shard runs); a missing grid scenario is an error")
 	)
 	flag.Parse()
 
@@ -59,18 +77,42 @@ func main() {
 		fatal(err)
 	}
 	opt := experiments.Options{
-		Seed:     *seed,
-		Apps:     *apps,
-		RUs:      units,
-		Latency:  simtime.FromMs(*latency),
-		CSV:      *csv,
-		Parallel: *parallel,
-		Store:    store,
+		Seed:          *seed,
+		Apps:          *apps,
+		RUs:           units,
+		Latency:       simtime.FromMs(*latency),
+		CSV:           *csv,
+		Parallel:      *parallel,
+		Store:         store,
+		RequireStored: *merge,
 	}
 
 	selected, err := selectExperiments(*only)
 	if err != nil {
 		fatal(err)
+	}
+
+	if *shardStr != "" {
+		shard, err := sweep.ParseShard(*shardStr)
+		if err != nil {
+			fatal(err)
+		}
+		if *merge {
+			fatal(fmt.Errorf("-shard and -merge-report are mutually exclusive (populate first, merge after)"))
+		}
+		if store == nil {
+			fatal(fmt.Errorf("-shard needs a result store (-store DIR or $RTR_STORE)"))
+		}
+		st, err := experiments.Populate(opt, selected, shard)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, shardDigest(shard, st))
+		fmt.Fprintln(os.Stderr, store.SummaryLine())
+		return
+	}
+	if *merge && store == nil {
+		fatal(fmt.Errorf("-merge-report needs a result store (-store DIR or $RTR_STORE)"))
 	}
 
 	fmt.Printf("reproduction suite: seed %d, %d apps, RUs %v, latency %v\n",
@@ -83,6 +125,15 @@ func main() {
 	if store != nil {
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
 	}
+}
+
+// shardDigest renders the per-shard stderr line operators read to verify
+// a shard actually ran its slice: scenarios owned and executed vs
+// skipped because other shards own them. Keep the format stable — the
+// CI shard determinism gate greps it.
+func shardDigest(shard sweep.Shard, st experiments.PopulateStats) string {
+	return fmt.Sprintf("shard %s: ran %d of %d grid scenarios across %d grids (%d skipped by other shards)",
+		shard, st.Ran, st.Scenarios, st.Grids, st.SkippedByShard)
 }
 
 // selectExperiments resolves the -only flag: empty means the full suite.

@@ -19,6 +19,18 @@
 // byte-identical. -store-gc reclaims entries written under an older
 // schema version; -no-store disables the store even when RTR_STORE is
 // set. Trace-producing runs (-gantt/-svg/-trace) bypass the store.
+//
+// A grid too large for one machine splits across hosts sharing a store:
+//
+//	host A:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -shard 0/2
+//	host B:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -shard 1/2
+//	any:     rtrsim -policy lru,lfd -rus 4-10 -store /shared -merge-report
+//
+// -shard i/N simulates only the scenarios whose spec index ≡ i (mod N)
+// into the store and prints no table (the per-shard digest — scenarios
+// ran, skipped by other shards, store hits/misses — goes to stderr);
+// -merge-report renders the full comparison table purely from the store,
+// failing on any scenario a shard never populated.
 package main
 
 import (
@@ -57,6 +69,8 @@ func main() {
 		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store directory (default: $RTR_STORE); re-runs serve unchanged scenarios from disk")
 		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
 		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
+		shardStr = flag.String("shard", "", "simulate only shard i/N of the sweep grid into -store (e.g. \"0/2\"); prints no table")
+		merge    = flag.Bool("merge-report", false, "render the sweep table purely from -store (populated by N -shard runs); a missing scenario is an error")
 	)
 	flag.Parse()
 
@@ -86,7 +100,25 @@ func main() {
 		fatal(err)
 	}
 
-	if len(units) == 1 && len(policies) == 1 {
+	var shard sweep.Shard
+	if *shardStr != "" {
+		shard, err = sweep.ParseShard(*shardStr)
+		if err != nil {
+			fatal(err)
+		}
+		if *merge {
+			fatal(fmt.Errorf("-shard and -merge-report are mutually exclusive (populate first, merge after)"))
+		}
+		if store == nil {
+			fatal(fmt.Errorf("-shard needs a result store (-store DIR or $RTR_STORE)"))
+		}
+	}
+	if *merge && store == nil {
+		fatal(fmt.Errorf("-merge-report needs a result store (-store DIR or $RTR_STORE)"))
+	}
+	sharded := *shardStr != "" || *merge
+
+	if len(units) == 1 && len(policies) == 1 && !sharded {
 		runSingle(*wl, seq, singleOptions{
 			spec: policies[0], rus: units[0], latency: simtime.FromMs(*latency),
 			skip: *skip, prefetch: *prefetch,
@@ -94,10 +126,17 @@ func main() {
 		}, store)
 	} else {
 		if *gantt || *svgOut != "" || *traceOut != "" {
+			if sharded {
+				fatal(fmt.Errorf("-gantt/-svg/-trace need a single live scenario, not a sharded sweep"))
+			}
 			fatal(fmt.Errorf("-gantt/-svg/-trace need a single scenario; got %d policies × %d unit counts",
 				len(policies), len(units)))
 		}
-		runSweep(*wl, seq, units, policies, simtime.FromMs(*latency), *prefetch, *parallel, store)
+		runSweep(*wl, seq, sweepOptions{
+			units: units, policies: policies, latency: simtime.FromMs(*latency),
+			prefetch: *prefetch, parallel: *parallel,
+			shard: shard, populate: *shardStr != "", merge: *merge,
+		}, store)
 	}
 	if store != nil {
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
@@ -194,36 +233,60 @@ func runSingle(wl string, seq []*taskgraph.Graph, o singleOptions, store *result
 	}
 }
 
-// runSweep executes the policies × unit-counts grid on the parallel
-// executor and prints one comparison row per scenario, in spec order.
-func runSweep(wl string, seq []*taskgraph.Graph, units []int, policies []sweep.PolicySpec,
-	latency simtime.Time, prefetch bool, parallel int, store *resultstore.Store) {
+type sweepOptions struct {
+	units    []int
+	policies []sweep.PolicySpec
+	latency  simtime.Time
+	prefetch bool
+	parallel int
+	// shard/populate: run only the shard's slice into the store, no
+	// table; merge: render the table purely from the store.
+	shard    sweep.Shard
+	populate bool
+	merge    bool
+}
 
-	if prefetch {
-		for i := range policies {
-			policies[i].CrossGraphPrefetch = true
+// runSweep executes the policies × unit-counts grid on the streaming
+// executor and prints one comparison row per scenario, in spec order.
+// Results stream through a SummaryCollector — the sweep never holds more
+// than O(workers) raw runs however many scenarios the flags expand to.
+func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultstore.Store) {
+	if o.prefetch {
+		for i := range o.policies {
+			o.policies[i].CrossGraphPrefetch = true
 		}
 	}
-	rs, err := sweep.Executor{Workers: parallel, Store: store}.Run(sweep.Spec{
+	spec := sweep.Spec{
 		Workloads: []sweep.Workload{{Seq: seq}},
-		RUs:       units,
-		Latencies: []simtime.Time{latency},
-		Policies:  policies,
-	})
+		RUs:       o.units,
+		Latencies: []simtime.Time{o.latency},
+		Policies:  o.policies,
+	}
+	if o.populate {
+		spec.Shard = o.shard
+		if err := (sweep.Executor{Workers: o.parallel, Store: store}).Collect(spec, sweep.Discard); err != nil {
+			fatal(err)
+		}
+		n := spec.Size()
+		fmt.Fprintf(os.Stderr, "shard %s: ran %d of %d scenarios (%d skipped by other shards)\n",
+			o.shard, o.shard.SizeOf(n), n, n-o.shard.SizeOf(n))
+		return
+	}
+	ss, err := sweep.Executor{Workers: o.parallel, Store: store, RequireStored: o.merge}.RunSummaries(spec)
 	if err != nil {
 		fatal(err)
 	}
 	fmt.Printf("workload        %s (%d applications), latency %v, %d scenarios\n",
-		wl, len(seq), latency, rs.Spec.Size())
+		wl, len(seq), o.latency, spec.Size())
 	fmt.Printf("%-30s %4s %10s %14s %12s %8s %8s\n",
 		"policy", "RUs", "reuse %", "makespan", "remaining %", "loads", "skips")
-	for ri, r := range units {
-		for pi := range policies {
-			res := rs.At(0, ri, 0, pi)
-			s := res.Summary
+	for ri, r := range o.units {
+		for pi := range o.policies {
+			row := ss.At(0, ri, 0, pi)
+			s := row.Summary
 			fmt.Printf("%-30s %4d %10.2f %14v %12.2f %8d %8d\n",
 				s.PolicyName, r, s.ReuseRate(), s.Makespan, s.RemainingOverheadPct(),
-				s.Loads, res.Run.Skips)
+				s.Loads, row.Counters.Skips)
 		}
 	}
 }

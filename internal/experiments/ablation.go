@@ -11,37 +11,30 @@ import (
 	"repro/internal/sweep"
 )
 
-// Ablation probes the design choices behind the paper's technique beyond
-// what its own figures cover:
-//
-//  1. Dynamic List window sweep 1..8 — how much future knowledge Local
-//     LFD actually needs (the paper stops at 4).
-//  2. Skip-events contribution per window — isolating the feature's
-//     effect at fixed lookahead.
-//  3. Extra baselines (FIFO, MRU, Random) — placing the paper's LRU
-//     baseline among other classic policies.
-//
-// All runs use the Fig. 9 workload at the paper's most contended point
-// (R=4), where replacement decisions matter most. The whole grid — both
-// window variants across every window, plus the classic baselines — is a
-// single sweep Spec over one shared ideal baseline.
-func Ablation(opt Options, w io.Writer) error {
-	opt = opt.normalized()
+// ablationWindows is the Dynamic List window sweep, going past the
+// paper's stop at 4.
+var ablationWindows = []int{1, 2, 3, 4, 6, 8}
+
+// ablationRUs is the paper's most contended point, where replacement
+// decisions matter most.
+const ablationRUs = 4
+
+// ablationSpec assembles the single sweep Spec behind ablations 1–3:
+// both window variants across every window, then the classic baselines,
+// all over one shared ideal baseline. baseOff is the policy-axis offset
+// of the first baseline series.
+func ablationSpec(opt Options) (spec sweep.Spec, baselines []sweep.PolicySpec, baseOff int, err error) {
 	wl, err := opt.sweepWorkload()
 	if err != nil {
-		return err
+		return sweep.Spec{}, nil, 0, err
 	}
-	const rus = 4
-	windows := []int{1, 2, 3, 4, 6, 8}
-
-	// Policy axis: the 2×len(windows) window grid, then the baselines.
 	var series []sweep.PolicySpec
 	for _, skip := range []bool{false, true} {
-		for _, ww := range windows {
+		for _, ww := range ablationWindows {
 			series = append(series, sweep.LocalLFD(ww, skip))
 		}
 	}
-	baselines := []sweep.PolicySpec{
+	baselines = []sweep.PolicySpec{
 		lruSeries(),
 		sweep.Fixed("FIFO", policy.NewFIFO()),
 		sweep.Fixed("MRU", policy.NewMRU()),
@@ -55,21 +48,50 @@ func Ablation(opt Options, w io.Writer) error {
 		},
 		lfdSeries(),
 	}
-	baseOff := len(series)
+	baseOff = len(series)
 	series = append(series, baselines...)
-
-	rs, err := opt.executor().Run(sweep.Spec{
+	spec = sweep.Spec{
 		Workloads: []sweep.Workload{wl},
-		RUs:       []int{rus},
+		RUs:       []int{ablationRUs},
 		Latencies: []simtime.Time{opt.Latency},
 		Policies:  series,
-	})
+	}
+	return spec, baselines, baseOff, nil
+}
+
+// AblationGrids declares the ablation grid for shard populate runs (the
+// timing-based ablation 4 has nothing to persist).
+func AblationGrids(opt Options) ([]sweep.Spec, error) {
+	spec, _, _, err := ablationSpec(opt.normalized())
+	return oneGrid(spec, err)
+}
+
+// Ablation probes the design choices behind the paper's technique beyond
+// what its own figures cover:
+//
+//  1. Dynamic List window sweep 1..8 — how much future knowledge Local
+//     LFD actually needs (the paper stops at 4).
+//  2. Skip-events contribution per window — isolating the feature's
+//     effect at fixed lookahead.
+//  3. Extra baselines (FIFO, MRU, Random) — placing the paper's LRU
+//     baseline among other classic policies.
+//
+// All runs use the Fig. 9 workload at R=4 as one streaming sweep Spec.
+func Ablation(opt Options, w io.Writer) error {
+	opt = opt.normalized()
+	spec, baselines, baseOff, err := ablationSpec(opt)
+	if err != nil {
+		return err
+	}
+	windows := ablationWindows
+
+	ss, err := opt.executor().RunSummaries(spec)
 	if err != nil {
 		return err
 	}
 
 	section(w, fmt.Sprintf("Ablation 1+2 — Dynamic List window sweep at R=%d (%d apps, seed %d)",
-		rus, len(wl.Seq), opt.Seed))
+		ablationRUs, len(spec.Workloads[0].Seq), opt.Seed))
 	cols := make([]string, len(windows))
 	for i, ww := range windows {
 		cols[i] = strconv.Itoa(ww)
@@ -83,7 +105,7 @@ func Ablation(opt Options, w io.Writer) error {
 		}
 		var reuse, over []float64
 		for wi := range windows {
-			s := rs.At(0, 0, 0, si*len(windows)+wi).Summary
+			s := ss.At(0, 0, 0, si*len(windows)+wi).Summary
 			reuse = append(reuse, s.ReuseRate())
 			over = append(over, s.RemainingOverheadPct())
 		}
@@ -101,7 +123,7 @@ func Ablation(opt Options, w io.Writer) error {
 	section(w, "Ablation 3 — classic cache policies as additional baselines (R=4)")
 	fmt.Fprintf(w, "%-12s %12s %16s\n", "policy", "reuse (%)", "remaining (%)")
 	for bi, b := range baselines {
-		s := rs.At(0, 0, 0, baseOff+bi).Summary
+		s := ss.At(0, 0, 0, baseOff+bi).Summary
 		fmt.Fprintf(w, "%-12s %12.2f %16.2f\n", b.Name, s.ReuseRate(), s.RemainingOverheadPct())
 	}
 

@@ -53,6 +53,12 @@ type Options struct {
 	// cold run. Trace-consuming experiments (fig2, fig3, energy) bypass
 	// it. See internal/resultstore.
 	Store *resultstore.Store
+	// RequireStored renders reports purely from Store: a cacheable grid
+	// scenario missing from it fails the experiment instead of being
+	// silently re-simulated. This is the -merge-report mode after N
+	// sharded populate runs (see Populate); uncacheable pieces (traces,
+	// per-task latencies) still run live. Requires Store.
+	RequireStored bool
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -113,9 +119,9 @@ func (o Options) sequence() ([]*taskgraph.Graph, error) {
 }
 
 // executor returns the scenario executor the sweep-backed experiments
-// share, honouring the Parallel and Store options.
+// share, honouring the Parallel, Store and RequireStored options.
 func (o Options) executor() sweep.Executor {
-	return sweep.Executor{Workers: o.Parallel, Store: o.Store}
+	return sweep.Executor{Workers: o.Parallel, Store: o.Store, RequireStored: o.RequireStored}
 }
 
 // sweepWorkload wraps the Fig. 9 inputs as a sweep workload.
@@ -130,30 +136,91 @@ func (o Options) sweepWorkload() (sweep.Workload, error) {
 // Runner produces one experiment report.
 type Runner func(opt Options, w io.Writer) error
 
-// Experiment couples an identifier with its runner.
+// GridsFunc declares the cacheable sweep Specs an experiment executes,
+// so shard mode can populate a shared result store without rendering
+// the report (see Populate). Experiments with no persistable grid —
+// worked examples, timing tables, trace-consuming sweeps — have none.
+type GridsFunc func(opt Options) ([]sweep.Spec, error)
+
+// Experiment couples an identifier with its runner and, for the grid
+// experiments, the Specs shard runs populate.
 type Experiment struct {
 	ID    string
 	Title string
 	Run   Runner
+	Grids GridsFunc
 }
 
 // All returns every experiment in report order.
 func All() []Experiment {
 	return []Experiment{
-		{"fig2", "Fig. 2 — motivational example: LRU vs LFD vs Local LFD", Fig2},
-		{"fig3", "Fig. 3 — motivational example: skip events", Fig3},
-		{"fig7", "Fig. 7 — design-time mobility calculation", Fig7},
-		{"fig9a", "Fig. 9a — reuse rates vs number of RUs (ASAP)", Fig9A},
-		{"fig9b", "Fig. 9b — reuse rates with skip events", Fig9B},
-		{"fig9c", "Fig. 9c — remaining reconfiguration overhead", Fig9C},
-		{"table1", "Table I — run-time delays of the replacement policies", TableI},
-		{"table2", "Table II — impact of the replacement module", TableII},
-		{"ablation", "Ablation — window sweep, skip contribution, extra baselines", Ablation},
-		{"energy", "Extension — reconfiguration energy and bus traffic", EnergyExperiment},
-		{"sensitivity", "Extension — latency sensitivity and heterogeneous latencies", Sensitivity},
-		{"prefetch", "Extension — cross-graph prefetch", Prefetch},
-		{"variance", "Extension — seed robustness of the headline claim", Variance},
+		{"fig2", "Fig. 2 — motivational example: LRU vs LFD vs Local LFD", Fig2, nil},
+		{"fig3", "Fig. 3 — motivational example: skip events", Fig3, nil},
+		{"fig7", "Fig. 7 — design-time mobility calculation", Fig7, nil},
+		{"fig9a", "Fig. 9a — reuse rates vs number of RUs (ASAP)", Fig9A, Fig9AGrids},
+		{"fig9b", "Fig. 9b — reuse rates with skip events", Fig9B, Fig9BGrids},
+		{"fig9c", "Fig. 9c — remaining reconfiguration overhead", Fig9C, Fig9CGrids},
+		{"table1", "Table I — run-time delays of the replacement policies", TableI, nil},
+		{"table2", "Table II — impact of the replacement module", TableII, nil},
+		{"ablation", "Ablation — window sweep, skip contribution, extra baselines", Ablation, AblationGrids},
+		{"energy", "Extension — reconfiguration energy and bus traffic", EnergyExperiment, nil},
+		{"sensitivity", "Extension — latency sensitivity and heterogeneous latencies", Sensitivity, SensitivityGrids},
+		{"prefetch", "Extension — cross-graph prefetch", Prefetch, PrefetchGrids},
+		{"variance", "Extension — seed robustness of the headline claim", Variance, VarianceGrids},
 	}
+}
+
+// PopulateStats summarizes one shard populate pass across the selected
+// experiments' grids.
+type PopulateStats struct {
+	// Grids is the number of sweep Specs executed.
+	Grids int
+	// Scenarios is the total grid size across those Specs.
+	Scenarios int
+	// Ran is how many scenarios this shard owns (store hits among them
+	// still count as ran — nothing was skipped by the shard).
+	Ran int
+	// SkippedByShard is how many scenarios other shards own.
+	SkippedByShard int
+}
+
+// Populate executes one shard's slice of every selected experiment's
+// cacheable grids into opt.Store, rendering nothing: the sweep results
+// stream through a discarding collector and the store write-through is
+// the only output. After every shard 0..N-1 has run against one shared
+// store, a RequireStored suite run (-merge-report) renders the full
+// report byte-identical to a single-process run. Experiments without a
+// GridsFunc are skipped — they either have no grid or cannot be
+// persisted (traces, timing) and run live at merge time instead.
+func Populate(opt Options, exps []Experiment, shard sweep.Shard) (PopulateStats, error) {
+	var st PopulateStats
+	if opt.Store == nil {
+		return st, fmt.Errorf("experiments: Populate needs a result store")
+	}
+	// Populate always simulates what the store lacks; RequireStored is
+	// the merge side of the protocol, never the populate side.
+	ex := sweep.Executor{Workers: opt.Parallel, Store: opt.Store}
+	for _, e := range exps {
+		if e.Grids == nil {
+			continue
+		}
+		specs, err := e.Grids(opt)
+		if err != nil {
+			return st, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		for _, sp := range specs {
+			sp.Shard = shard
+			if err := ex.Collect(sp, sweep.Discard); err != nil {
+				return st, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			n := sp.Size()
+			st.Grids++
+			st.Scenarios += n
+			st.Ran += shard.SizeOf(n)
+			st.SkippedByShard += n - shard.SizeOf(n)
+		}
+	}
+	return st, nil
 }
 
 // ByID finds an experiment.

@@ -10,6 +10,43 @@ import (
 	"repro/internal/workload"
 )
 
+const sensitivityRUs = 4
+
+// sensitivityLatencies is the uniform latency sweep, 1–16 ms around the
+// paper's fixed 4 ms.
+func sensitivityLatencies() []simtime.Time {
+	return []simtime.Time{
+		simtime.FromMs(1), simtime.FromMs(2), simtime.FromMs(4),
+		simtime.FromMs(8), simtime.FromMs(16),
+	}
+}
+
+// sensitivitySpec assembles the uniform-latency grid (the cacheable half
+// of the experiment; the heterogeneous run has a per-task latency
+// function and can never be persisted).
+func sensitivitySpec(opt Options) (sweep.Spec, error) {
+	wl, err := opt.sweepWorkload()
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	return sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       []int{sensitivityRUs},
+		Latencies: sensitivityLatencies(),
+		Policies: []sweep.PolicySpec{
+			lruSeries(),
+			sweep.LocalLFD(1, true),
+			lfdSeries(),
+		},
+	}, nil
+}
+
+// SensitivityGrids declares the uniform-latency grid for shard populate
+// runs.
+func SensitivityGrids(opt Options) ([]sweep.Spec, error) {
+	return oneGrid(sensitivitySpec(opt.normalized()))
+}
+
 // Sensitivity probes how the paper's conclusions depend on the one
 // hardware parameter it fixes: the 4 ms reconfiguration latency. It
 // sweeps uniform latencies from 1 to 16 ms and adds a heterogeneous run
@@ -19,29 +56,17 @@ import (
 // are computed once per latency and shared across its scenarios.
 func Sensitivity(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	wl, err := opt.sweepWorkload()
+	spec, err := sensitivitySpec(opt)
 	if err != nil {
 		return err
 	}
-	const rus = 4
+	wl := spec.Workloads[0]
 	section(w, fmt.Sprintf("Extension — latency sensitivity at R=%d (%d apps, seed %d)",
-		rus, len(wl.Seq), opt.Seed))
+		sensitivityRUs, len(wl.Seq), opt.Seed))
 
-	latencies := []simtime.Time{
-		simtime.FromMs(1), simtime.FromMs(2), simtime.FromMs(4),
-		simtime.FromMs(8), simtime.FromMs(16),
-	}
-	series := []sweep.PolicySpec{
-		lruSeries(),
-		sweep.LocalLFD(1, true),
-		lfdSeries(),
-	}
-	rs, err := opt.executor().Run(sweep.Spec{
-		Workloads: []sweep.Workload{wl},
-		RUs:       []int{rus},
-		Latencies: latencies,
-		Policies:  series,
-	})
+	latencies := spec.Latencies
+	series := spec.Policies
+	ss, err := opt.executor().RunSummaries(spec)
 	if err != nil {
 		return err
 	}
@@ -54,7 +79,7 @@ func Sensitivity(opt Options, w io.Writer) error {
 	for pi, s := range series {
 		var vals []float64
 		for li := range latencies {
-			vals = append(vals, rs.At(0, 0, li, pi).Summary.RemainingOverheadPct())
+			vals = append(vals, ss.At(0, 0, li, pi).Summary.RemainingOverheadPct())
 		}
 		if err := tab.AddFloatRow(s.Name, vals...); err != nil {
 			return err
@@ -64,7 +89,9 @@ func Sensitivity(opt Options, w io.Writer) error {
 	fmt.Fprintln(w, "\nexpected: the remaining percentage is fairly stable across latencies —")
 	fmt.Fprintln(w, "overheads scale with the latency, and so does the original-overhead baseline.")
 
-	// Heterogeneous latencies derived from bitstream sizes.
+	// Heterogeneous latencies derived from bitstream sizes. A per-task
+	// latency function has no canonical encoding, so this sweep always
+	// runs live (it bypasses the store — and RequireStored — by design).
 	latFor, err := workload.LatencyFromBitstreams(workload.BitstreamBytes(), workload.DefaultConfigBandwidth)
 	if err != nil {
 		return err
@@ -74,9 +101,9 @@ func Sensitivity(opt Options, w io.Writer) error {
 		sweep.LocalLFD(1, false),
 		lfdSeries(),
 	}
-	het, err := opt.executor().Run(sweep.Spec{
+	het, err := opt.executor().RunSummaries(sweep.Spec{
 		Workloads:  []sweep.Workload{wl},
-		RUs:        []int{rus},
+		RUs:        []int{sensitivityRUs},
 		Latencies:  []simtime.Time{0}, // overridden per task by LatencyFor
 		Policies:   hetSeries,
 		LatencyFor: latFor,
@@ -87,54 +114,66 @@ func Sensitivity(opt Options, w io.Writer) error {
 	}
 	fmt.Fprintln(w, "\nheterogeneous latencies (bitstream-size derived, mean 4 ms):")
 	for pi, s := range hetSeries {
-		res := het.At(0, 0, 0, pi).Run
-		reuse := 0.0
-		if res.Executed > 0 {
-			reuse = 100 * float64(res.Reused) / float64(res.Executed)
-		}
-		fmt.Fprintf(w, "  %-16s reuse %6.2f%%  makespan %v\n", s.Name, reuse, res.Makespan)
+		c := het.At(0, 0, 0, pi).Counters
+		fmt.Fprintf(w, "  %-16s reuse %6.2f%%  makespan %v\n", s.Name, c.ReuseRate(), c.Makespan)
 	}
 	fmt.Fprintln(w, "  (reuse ordering matches the uniform-latency runs: the policies rank")
 	fmt.Fprintln(w, "  identically when latencies vary per task)")
 	return nil
 }
 
+// prefetchVariant builds one prefetch configuration on top of Local LFD.
+func prefetchVariant(name string, window int, skip, prefetch, conservative bool) sweep.PolicySpec {
+	s := sweep.LocalLFD(window, skip)
+	s.Name = name
+	s.CrossGraphPrefetch = prefetch
+	s.ConservativePrefetch = conservative
+	return s
+}
+
+// prefetchSpec assembles the (RUs × prefetch variants) grid.
+func prefetchSpec(opt Options) (sweep.Spec, error) {
+	wl, err := opt.sweepWorkload()
+	if err != nil {
+		return sweep.Spec{}, err
+	}
+	return sweep.Spec{
+		Workloads: []sweep.Workload{wl},
+		RUs:       opt.RUs,
+		Latencies: []simtime.Time{opt.Latency},
+		Policies: []sweep.PolicySpec{
+			prefetchVariant("Local LFD (1)", 1, false, false, false),
+			prefetchVariant("Local LFD (1) + Skip Events", 1, true, false, false),
+			prefetchVariant("Local LFD (1) + prefetch", 1, false, true, false),
+			prefetchVariant("Local LFD (1) + Skip + prefetch", 1, true, true, false),
+			// The conservative variant needs a window reaching past the
+			// graph being preloaded to recognize reusable victims.
+			prefetchVariant("Local LFD (4) + conserv. prefetch", 4, false, true, true),
+		},
+	}, nil
+}
+
+// PrefetchGrids declares the prefetch grid for shard populate runs.
+func PrefetchGrids(opt Options) ([]sweep.Spec, error) {
+	return oneGrid(prefetchSpec(opt.normalized()))
+}
+
 // Prefetch evaluates the cross-graph prefetch extension: letting the idle
 // reconfiguration circuitry preload the next enqueued graph. The paper's
 // manager stops prefetching at graph boundaries; the extension removes
 // the cold boundary load that dominates the remaining overhead at high
-// contention. The whole (RUs × variants) grid is one sweep Spec.
+// contention. The whole (RUs × variants) grid is one streaming sweep.
 func Prefetch(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	wl, err := opt.sweepWorkload()
+	spec, err := prefetchSpec(opt)
 	if err != nil {
 		return err
 	}
 	section(w, fmt.Sprintf("Extension — cross-graph prefetch (%d apps, seed %d, latency %v)",
-		len(wl.Seq), opt.Seed, opt.Latency))
+		len(spec.Workloads[0].Seq), opt.Seed, opt.Latency))
 
-	variant := func(name string, window int, skip, prefetch, conservative bool) sweep.PolicySpec {
-		s := sweep.LocalLFD(window, skip)
-		s.Name = name
-		s.CrossGraphPrefetch = prefetch
-		s.ConservativePrefetch = conservative
-		return s
-	}
-	series := []sweep.PolicySpec{
-		variant("Local LFD (1)", 1, false, false, false),
-		variant("Local LFD (1) + Skip Events", 1, true, false, false),
-		variant("Local LFD (1) + prefetch", 1, false, true, false),
-		variant("Local LFD (1) + Skip + prefetch", 1, true, true, false),
-		// The conservative variant needs a window reaching past the
-		// graph being preloaded to recognize reusable victims.
-		variant("Local LFD (4) + conserv. prefetch", 4, false, true, true),
-	}
-	rs, err := opt.executor().Run(sweep.Spec{
-		Workloads: []sweep.Workload{wl},
-		RUs:       opt.RUs,
-		Latencies: []simtime.Time{opt.Latency},
-		Policies:  series,
-	})
+	series := spec.Policies
+	ss, err := opt.executor().RunSummaries(spec)
 	if err != nil {
 		return err
 	}
@@ -143,10 +182,10 @@ func Prefetch(opt Options, w io.Writer) error {
 		"RUs", "configuration", "reuse %", "overhead", "remaining %", "preloads")
 	for ri, rus := range opt.RUs {
 		for pi, s := range series {
-			r := rs.At(0, ri, 0, pi)
+			r := ss.At(0, ri, 0, pi)
 			fmt.Fprintf(w, "%-4d %-34s %10.2f %12v %12.2f %10d\n",
 				rus, s.Name, r.Summary.ReuseRate(), r.Summary.Overhead(),
-				r.Summary.RemainingOverheadPct(), r.Run.Preloads)
+				r.Summary.RemainingOverheadPct(), r.Counters.Preloads)
 		}
 	}
 	fmt.Fprintln(w, "\nexpected: greedy prefetch hides nearly every load — only the run's very")
@@ -161,7 +200,9 @@ func Prefetch(opt Options, w io.Writer) error {
 
 // EnergyExperiment quantifies the paper's energy/bus-pressure claims
 // (§VI.A): the reconfiguration energy each policy spends on the Fig. 9
-// workload and what reuse saved, under the default bitstream model.
+// workload and what reuse saved, under the default bitstream model. The
+// energy model walks execution traces, so this sweep keeps full results
+// (ResultSetCollector) and always runs live — traces are never stored.
 func EnergyExperiment(opt Options, w io.Writer) error {
 	opt = opt.normalized()
 	wl, err := opt.sweepWorkload()

@@ -10,28 +10,50 @@ import (
 	"repro/internal/sweep"
 )
 
-// fig9Run executes the shared Fig. 9 protocol as one sweep: one random
-// 500-application sequence, a grid of unit counts × policy series, run on
-// the parallel scenario executor. Ideal baselines (one per unit count)
-// and design-time mobility tables are computed once and shared across the
-// grid. metric extracts the plotted quantity from a run summary.
-func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
-	metric func(*metrics.Summary) float64, paperAvg map[string]float64) error {
-
-	opt = opt.normalized()
+// fig9Spec assembles the shared Fig. 9 grid: one random 500-application
+// sequence, unit counts × policy series at the paper's latency. Both the
+// report runners and the shard populate path build their sweeps here, so
+// a sharded store always holds exactly the scenarios the report reads.
+func fig9Spec(opt Options, series []sweep.PolicySpec) (sweep.Spec, error) {
 	wl, err := opt.sweepWorkload()
 	if err != nil {
-		return err
+		return sweep.Spec{}, err
 	}
-	section(w, fmt.Sprintf("%s — %d apps from {JPEG, MPEG-1, Hough}, seed %d, latency %v",
-		title, len(wl.Seq), opt.Seed, opt.Latency))
-
-	rs, err := opt.executor().Run(sweep.Spec{
+	return sweep.Spec{
 		Workloads: []sweep.Workload{wl},
 		RUs:       opt.RUs,
 		Latencies: []simtime.Time{opt.Latency},
 		Policies:  series,
-	})
+	}, nil
+}
+
+// oneGrid wraps a single-spec experiment as its GridsFunc.
+func oneGrid(spec sweep.Spec, err error) ([]sweep.Spec, error) {
+	if err != nil {
+		return nil, err
+	}
+	return []sweep.Spec{spec}, nil
+}
+
+// fig9Run executes the shared Fig. 9 protocol as one streaming sweep on
+// the parallel scenario executor. Ideal baselines (one per unit count)
+// and design-time mobility tables are computed once and shared across
+// the grid; results stream through a SummaryCollector, so raw runs are
+// dropped as soon as each scenario's summary is extracted and the sweep
+// holds O(workers) of them however large the grid. metric extracts the
+// plotted quantity from a run summary.
+func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
+	metric func(*metrics.Summary) float64, paperAvg map[string]float64) error {
+
+	opt = opt.normalized()
+	spec, err := fig9Spec(opt, series)
+	if err != nil {
+		return err
+	}
+	section(w, fmt.Sprintf("%s — %d apps from {JPEG, MPEG-1, Hough}, seed %d, latency %v",
+		title, len(spec.Workloads[0].Seq), opt.Seed, opt.Latency))
+
+	ss, err := opt.executor().RunSummaries(spec)
 	if err != nil {
 		return err
 	}
@@ -46,7 +68,7 @@ func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 	for pi, s := range series {
 		vals := make([]float64, 0, len(opt.RUs))
 		for ri := range opt.RUs {
-			vals = append(vals, metric(rs.At(0, ri, 0, pi).Summary))
+			vals = append(vals, metric(ss.At(0, ri, 0, pi).Summary))
 		}
 		if err := tab.AddFloatRow(s.Name, append(vals, metrics.Mean(vals))...); err != nil {
 			return err
@@ -68,36 +90,66 @@ func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 	return nil
 }
 
-// Fig9A reproduces Fig. 9a: reuse rates of LRU, Local LFD (1/2/4) and LFD
-// under a pure ASAP load order, for 4–10 units. Expected shape: LRU far
-// below; Local LFD approaches LFD as the Dynamic List window grows
-// (paper averages: LRU 30.06 %, Local LFD(4) 45.93 %, LFD 45.97 %).
-func Fig9A(opt Options, w io.Writer) error {
-	series := []sweep.PolicySpec{
+// fig9ASeries is Fig. 9a's policy axis: LRU, the Local LFD window sweep,
+// clairvoyant LFD.
+func fig9ASeries() []sweep.PolicySpec {
+	return []sweep.PolicySpec{
 		lruSeries(),
 		sweep.LocalLFD(1, false),
 		sweep.LocalLFD(2, false),
 		sweep.LocalLFD(4, false),
 		lfdSeries(),
 	}
+}
+
+// Fig9A reproduces Fig. 9a: reuse rates of LRU, Local LFD (1/2/4) and LFD
+// under a pure ASAP load order, for 4–10 units. Expected shape: LRU far
+// below; Local LFD approaches LFD as the Dynamic List window grows
+// (paper averages: LRU 30.06 %, Local LFD(4) 45.93 %, LFD 45.97 %).
+func Fig9A(opt Options, w io.Writer) error {
 	return fig9Run(opt, w, "Fig. 9a — reuse rate (%) vs number of RUs (ASAP)",
-		series, (*metrics.Summary).ReuseRate,
+		fig9ASeries(), (*metrics.Summary).ReuseRate,
 		map[string]float64{"LRU": 30.06, "Local LFD (4)": 45.93, "LFD": 45.97})
+}
+
+// Fig9AGrids declares Fig. 9a's grid for shard populate runs.
+func Fig9AGrids(opt Options) ([]sweep.Spec, error) {
+	return oneGrid(fig9Spec(opt.normalized(), fig9ASeries()))
+}
+
+// fig9BSeries is Fig. 9b's policy axis, isolating the skip-events lift.
+func fig9BSeries() []sweep.PolicySpec {
+	return []sweep.PolicySpec{
+		lruSeries(),
+		sweep.LocalLFD(1, false),
+		sweep.LocalLFD(1, true),
+		lfdSeries(),
+	}
 }
 
 // Fig9B reproduces Fig. 9b: the skip-events feature lifts Local LFD(1)'s
 // reuse above even clairvoyant LFD, because LFD never delays a load
 // (paper averages: Local LFD(1)+Skip 48.19 %, LFD 44.38 %).
 func Fig9B(opt Options, w io.Writer) error {
-	series := []sweep.PolicySpec{
+	return fig9Run(opt, w, "Fig. 9b — reuse rate (%) with Skip Events",
+		fig9BSeries(), (*metrics.Summary).ReuseRate,
+		map[string]float64{"Local LFD (1) + Skip Events": 48.19, "LFD": 44.38})
+}
+
+// Fig9BGrids declares Fig. 9b's grid for shard populate runs.
+func Fig9BGrids(opt Options) ([]sweep.Spec, error) {
+	return oneGrid(fig9Spec(opt.normalized(), fig9BSeries()))
+}
+
+// fig9CSeries is Fig. 9c's policy axis: the skip variants across windows.
+func fig9CSeries() []sweep.PolicySpec {
+	return []sweep.PolicySpec{
 		lruSeries(),
-		sweep.LocalLFD(1, false),
 		sweep.LocalLFD(1, true),
+		sweep.LocalLFD(2, true),
+		sweep.LocalLFD(4, true),
 		lfdSeries(),
 	}
-	return fig9Run(opt, w, "Fig. 9b — reuse rate (%) with Skip Events",
-		series, (*metrics.Summary).ReuseRate,
-		map[string]float64{"Local LFD (1) + Skip Events": 48.19, "LFD": 44.38})
 }
 
 // Fig9C reproduces Fig. 9c: the percentage of the original
@@ -106,18 +158,16 @@ func Fig9B(opt Options, w io.Writer) error {
 // close behind (8.9 %); at 4 units the skip variants beat LFD thanks to
 // the extreme contention (15 tasks on 4 units).
 func Fig9C(opt Options, w io.Writer) error {
-	series := []sweep.PolicySpec{
-		lruSeries(),
-		sweep.LocalLFD(1, true),
-		sweep.LocalLFD(2, true),
-		sweep.LocalLFD(4, true),
-		lfdSeries(),
-	}
 	err := fig9Run(opt, w, "Fig. 9c — remaining reconfiguration overhead (%)",
-		series, (*metrics.Summary).RemainingOverheadPct,
+		fig9CSeries(), (*metrics.Summary).RemainingOverheadPct,
 		map[string]float64{"Local LFD (4) + Skip Events": 8.9, "LFD": 7.22})
 	if err == nil {
 		fmt.Fprintln(w, "  (the paper additionally reports 19.19 % for LRU at R=4)")
 	}
 	return err
+}
+
+// Fig9CGrids declares Fig. 9c's grid for shard populate runs.
+func Fig9CGrids(opt Options) ([]sweep.Spec, error) {
+	return oneGrid(fig9Spec(opt.normalized(), fig9CSeries()))
 }

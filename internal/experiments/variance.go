@@ -9,58 +9,72 @@ import (
 	"repro/internal/sweep"
 )
 
-// Variance re-runs the headline comparison (Fig. 9b at the paper's
-// high-contention point, R=4) across ten independent workload seeds and
-// reports mean ± standard deviation per policy. The paper evaluates a
-// single 500-application sequence; this experiment shows its conclusions
-// are not an artefact of one draw. The seeds form the workload axis of
-// one sweep Spec, so they run concurrently.
-func Variance(opt Options, w io.Writer) error {
-	opt = opt.normalized()
-	const rus = 4
-	const seeds = 10
-	section(w, fmt.Sprintf("Extension — seed robustness of Fig. 9b at R=%d (%d apps × %d seeds)",
-		rus, opt.Apps, seeds))
+const (
+	varianceRUs   = 4
+	varianceSeeds = 10
+)
 
+// varianceSpec assembles the seed-robustness grid: the Fig. 9b policy
+// series at R=4 across ten independently drawn workloads, one sweep Spec
+// (the seeds form the workload axis, so they run concurrently). The
+// reuse rates come straight from the raw counters; no zero-latency
+// baselines needed.
+func varianceSpec(opt Options) (sweep.Spec, error) {
 	series := []sweep.PolicySpec{
 		lruSeries(),
 		sweep.LocalLFD(1, false),
 		sweep.LocalLFD(1, true),
 		lfdSeries(),
 	}
-	workloads := make([]sweep.Workload, 0, seeds)
-	for s := int64(0); s < seeds; s++ {
+	workloads := make([]sweep.Workload, 0, varianceSeeds)
+	for s := int64(0); s < varianceSeeds; s++ {
 		seedOpt := opt
 		seedOpt.Seed = opt.Seed + s
 		wl, err := seedOpt.sweepWorkload()
 		if err != nil {
-			return err
+			return sweep.Spec{}, err
 		}
 		wl.Label = fmt.Sprintf("seed %d", seedOpt.Seed)
 		workloads = append(workloads, wl)
 	}
-	rs, err := opt.executor().Run(sweep.Spec{
-		Workloads: workloads,
-		RUs:       []int{rus},
-		Latencies: []simtime.Time{opt.Latency},
-		Policies:  series,
-		// The reuse rates come straight from the raw counters; no
-		// zero-latency baselines needed.
+	return sweep.Spec{
+		Workloads:  workloads,
+		RUs:        []int{varianceRUs},
+		Latencies:  []simtime.Time{opt.Latency},
+		Policies:   series,
 		NoBaseline: true,
-	})
+	}, nil
+}
+
+// VarianceGrids declares the seed-robustness grid for shard populate runs.
+func VarianceGrids(opt Options) ([]sweep.Spec, error) {
+	return oneGrid(varianceSpec(opt.normalized()))
+}
+
+// Variance re-runs the headline comparison (Fig. 9b at the paper's
+// high-contention point, R=4) across ten independent workload seeds and
+// reports mean ± standard deviation per policy. The paper evaluates a
+// single 500-application sequence; this experiment shows its conclusions
+// are not an artefact of one draw.
+func Variance(opt Options, w io.Writer) error {
+	opt = opt.normalized()
+	section(w, fmt.Sprintf("Extension — seed robustness of Fig. 9b at R=%d (%d apps × %d seeds)",
+		varianceRUs, opt.Apps, varianceSeeds))
+
+	spec, err := varianceSpec(opt)
 	if err != nil {
 		return err
 	}
+	ss, err := opt.executor().RunSummaries(spec)
+	if err != nil {
+		return err
+	}
+	series := spec.Policies
 
 	rates := make(map[string][]float64, len(series))
-	for wi := range workloads {
+	for wi := range spec.Workloads {
 		for pi, sr := range series {
-			res := rs.At(wi, 0, 0, pi).Run
-			rate := 0.0
-			if res.Executed > 0 {
-				rate = 100 * float64(res.Reused) / float64(res.Executed)
-			}
-			rates[sr.Name] = append(rates[sr.Name], rate)
+			rates[sr.Name] = append(rates[sr.Name], ss.At(wi, 0, 0, pi).Counters.ReuseRate())
 		}
 	}
 
@@ -87,6 +101,6 @@ func Variance(opt Options, w io.Writer) error {
 			wins++
 		}
 	}
-	fmt.Fprintf(w, "\nLocal LFD (1) + Skip Events beat clairvoyant LFD on %d of %d seeds\n", wins, seeds)
+	fmt.Fprintf(w, "\nLocal LFD (1) + Skip Events beat clairvoyant LFD on %d of %d seeds\n", wins, varianceSeeds)
 	return nil
 }

@@ -1,0 +1,136 @@
+package sweep
+
+import (
+	"repro/internal/manager"
+	"repro/internal/metrics"
+	"repro/internal/simtime"
+)
+
+// Collector receives completed scenario results as a sweep streams them
+// out: one Collect call per executed scenario, always in spec order
+// regardless of completion order, always from a single goroutine (a
+// Collector needs no locking). Returning an error cancels the rest of
+// the sweep.
+//
+// The executor holds on to a result only until its turn comes — at most
+// a bounded reorder window of them (see Executor.Collect) — so a
+// Collector that drops or condenses results caps the sweep's memory at
+// O(workers) raw runs no matter how large the grid is.
+type Collector interface {
+	Collect(*Result) error
+}
+
+// CollectorFunc adapts a function to the Collector interface.
+type CollectorFunc func(*Result) error
+
+// Collect calls f.
+func (f CollectorFunc) Collect(r *Result) error { return f(r) }
+
+// Discard drops every result. With Executor.Store attached this is the
+// write-through population mode: the sweep's only output is the store
+// entries it persists — exactly what a shard run feeding a shared store
+// wants (the report is rendered later, from the merged store).
+var Discard Collector = CollectorFunc(func(*Result) error { return nil })
+
+// ResultSetCollector accumulates every streamed result in spec order —
+// the classic Run behaviour, O(grid) memory. Use it when a report needs
+// raw runs (traces, completion times); summary-only grids should prefer
+// SummaryCollector.
+type ResultSetCollector struct {
+	Results []*Result
+}
+
+// Collect appends the result.
+func (c *ResultSetCollector) Collect(r *Result) error {
+	c.Results = append(c.Results, r)
+	return nil
+}
+
+// RunCounters is the O(1)-size residue of a raw run that summary-only
+// reports consume: every scalar counter, none of the per-task slices
+// (completion times, traces) that make a manager.Result O(workload).
+type RunCounters struct {
+	Executed, Reused, Loads, Evictions int
+	Skips, ForcedSkips, Preloads       int
+	Makespan                           simtime.Time
+}
+
+// countersOf captures the scalar counters of a completed run.
+func countersOf(r *manager.Result) RunCounters {
+	if r == nil {
+		return RunCounters{}
+	}
+	return RunCounters{
+		Executed: r.Executed, Reused: r.Reused, Loads: r.Loads, Evictions: r.Evictions,
+		Skips: r.Skips, ForcedSkips: r.ForcedSkips, Preloads: r.Preloads,
+		Makespan: r.Makespan,
+	}
+}
+
+// ReuseRate returns reused/executed in percent (0 for an empty run),
+// matching metrics.Summary.ReuseRate for sweeps run without baselines.
+func (c RunCounters) ReuseRate() float64 {
+	if c.Executed == 0 {
+		return 0
+	}
+	return 100 * float64(c.Reused) / float64(c.Executed)
+}
+
+// SummaryRow is what SummaryCollector keeps per scenario: the derived
+// metrics summary (nil when the sweep ran with Spec.NoBaseline) plus the
+// scalar run counters. It holds no *manager.Result, so the raw run and
+// its ideal baseline are garbage the moment the row is collected.
+type SummaryRow struct {
+	Scenario Scenario
+	// Summary carries the paper's metrics; nil under Spec.NoBaseline.
+	Summary *metrics.Summary
+	// Counters are the scalar counters of the raw run.
+	Counters RunCounters
+}
+
+// SummaryCollector condenses each result to a SummaryRow as it streams
+// past, dropping the raw run and ideal baseline. A sweep collected this
+// way retains O(workers) full results at any instant (the executor's
+// reorder window) and O(grid) small rows — the difference is what lets
+// one process sweep grids far larger than memory would allow with
+// ResultSetCollector.
+type SummaryCollector struct {
+	Rows []SummaryRow
+}
+
+// Collect condenses and appends the result.
+func (c *SummaryCollector) Collect(r *Result) error {
+	c.Rows = append(c.Rows, SummaryRow{
+		Scenario: r.Scenario,
+		Summary:  r.Summary,
+		Counters: countersOf(r.Run),
+	})
+	return nil
+}
+
+// SummarySet is a completed summary-only sweep: rows in spec order plus
+// axis-indexed access, the lightweight analogue of ResultSet.
+type SummarySet struct {
+	Spec *Spec
+	Rows []SummaryRow
+}
+
+// At returns the row at the given axis indices. Valid only for
+// unsharded sweeps (a shard holds a subset of the grid's rows).
+func (ss *SummarySet) At(workload, ru, latency, policy int) *SummaryRow {
+	nr, nl, np := len(ss.Spec.RUs), len(ss.Spec.Latencies), len(ss.Spec.Policies)
+	return &ss.Rows[((workload*nr+ru)*nl+latency)*np+policy]
+}
+
+// RunSummaries executes the sweep through a SummaryCollector and returns
+// the summary rows in spec order. This is the streaming counterpart of
+// Run for summary-only grids: same scenarios, same sharing, O(workers)
+// raw results in memory instead of O(grid).
+func (e Executor) RunSummaries(spec Spec) (*SummarySet, error) {
+	var c SummaryCollector
+	if err := e.Collect(spec, &c); err != nil {
+		return nil, err
+	}
+	sp := spec
+	return &SummarySet{Spec: &sp, Rows: c.Rows}, nil
+}

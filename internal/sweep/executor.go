@@ -3,6 +3,8 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/dynlist"
@@ -14,7 +16,8 @@ import (
 	"repro/internal/taskgraph"
 )
 
-// Executor runs the scenarios of a Spec on a bounded worker pool.
+// Executor runs the scenarios of a Spec on a bounded worker pool and
+// streams the results, in spec order, into a Collector.
 //
 // Results are collected in spec order regardless of completion order, and
 // every shared input is computed once per sweep: the zero-latency ideal
@@ -23,13 +26,39 @@ import (
 // (template, RUs, latency) through the process-wide mobility cache. The
 // first scenario error cancels the remaining work.
 //
+// Scenarios are dispatched to the pool in descending estimated cost
+// (longest-processing-time order) rather than spec order: an LFD-family
+// scenario at a low unit count costs an order of magnitude more than LRU
+// at a high one, and feeding it last would leave the pool idle behind a
+// single straggler. Collection stays in spec order either way, held to a
+// bounded reorder window so a sweep never buffers more than O(workers)
+// completed results — the property that lets SummaryCollector sweeps run
+// grids far larger than memory would hold as ResultSets. The memory
+// bound and the cost-order look-ahead are the same knob: dispatch may
+// reorder only within the window (in-order collection could otherwise
+// buffer the whole grid), so on grids larger than the window the
+// expensive scenarios are front-run within each window's reach rather
+// than globally — a straggler at the grid's far end still starts up to
+// a window early, with the remaining cheap scenarios backfilling behind
+// it. Policies are the innermost axis, so any window wider than the
+// policy axis sees every policy family at once and the worst imbalance
+// (cheap and dear series interleaved) is fully reordered.
+//
 // With a Store attached, every scenario's canonical config hash is looked
-// up before it is dispatched to the pool: hits are served from disk
-// (neither the simulation nor its ideal baseline reruns) and misses are
-// written back on completion. Stored results carry the exact counters,
-// completions and summary of a live run, so a warm sweep's ResultSet is
-// byte-identical in every report to a cold one. Specs the store cannot
-// identify canonically (see Spec.Cacheable) bypass it transparently.
+// up before it runs: hits are served from disk (neither the simulation
+// nor its ideal baseline reruns) and misses are written back on
+// completion — unless the sweep has already failed, in which case no
+// further entries are persisted (a cancelled sweep must never silently
+// populate the store with the scenarios that happened to finish). Stored
+// results carry the exact counters, completions and summary of a live
+// run, so a warm sweep is byte-identical in every report to a cold one.
+// Specs the store cannot identify canonically (see Spec.Cacheable)
+// bypass it transparently.
+//
+// With Spec.Shard set, only the shard's slice of the grid runs; config
+// hashes and spec order are shard-independent, so N shard runs into one
+// shared store tile the grid exactly and a later store-only sweep (see
+// RequireStored) merges them into the full report.
 type Executor struct {
 	// Workers bounds the number of concurrently running scenarios; values
 	// ≤ 0 mean runtime.GOMAXPROCS(0). Workers == 1 is the sequential
@@ -38,6 +67,31 @@ type Executor struct {
 	// Store, when non-nil, persists scenario results keyed by canonical
 	// config hash and serves overlapping re-runs from disk.
 	Store *resultstore.Store
+	// RequireStored turns a store miss on a cacheable scenario into an
+	// error instead of a re-simulation: the merge mode after sharded
+	// populate runs, where silently re-simulating would paper over a
+	// shard that never ran. Uncacheable specs (which can never be in the
+	// store) still run live. Requires Store.
+	RequireStored bool
+	// SpecOrderDispatch feeds scenarios to the pool in spec order instead
+	// of descending estimated cost. Results are identical either way;
+	// this exists for benchmarks comparing the dispatch strategies and
+	// as an escape hatch should the cost heuristic ever misjudge a
+	// workload badly.
+	SpecOrderDispatch bool
+
+	// observePending, when non-nil, receives the number of dispatched-
+	// but-uncollected scenarios after every dispatch and completion.
+	// Tests use it to pin the O(workers) reorder-window bound.
+	observePending func(int)
+	// observeDispatch, when non-nil, receives each scenario's spec index
+	// as it is handed to a worker. Tests use it to pin the cost-order
+	// (LPT) dispatch, which wall clock cannot show on a one-core host.
+	observeDispatch func(int)
+	// onCancel, when non-nil, runs once immediately after the sweep is
+	// cancelled (first error). Tests use it to sequence in-flight
+	// workers deterministically against the cancellation.
+	onCancel func()
 }
 
 // Run executes every scenario of spec and returns the results in spec
@@ -45,13 +99,51 @@ type Executor struct {
 // index among those that failed before cancellation took effect.
 func Run(spec Spec) (*ResultSet, error) { return Executor{}.Run(spec) }
 
-// Run executes the sweep. See the type comment for the sharing and
-// ordering guarantees.
+// Run executes the sweep and gathers every result into a ResultSet —
+// a thin wrapper over Collect with a ResultSetCollector, O(grid) memory.
+// With Spec.Shard set the ResultSet holds only the shard's results (in
+// spec order); axis indexing via At is then invalid.
 func (e Executor) Run(spec Spec) (*ResultSet, error) {
+	var c ResultSetCollector
+	if err := e.Collect(spec, &c); err != nil {
+		return nil, err
+	}
+	sp := spec
+	return &ResultSet{Spec: &sp, Results: c.Results}, nil
+}
+
+// reorderWindow bounds how far dispatch may run ahead of in-order
+// collection: the executor holds at most this many dispatched-but-
+// uncollected scenarios (in flight + buffered completions), so memory
+// for raw results is O(workers) with a small floor that keeps cost-order
+// dispatch effective on little pools.
+func reorderWindow(workers int) int {
+	const floor = 32
+	if w := 4 * workers; w > floor {
+		return w
+	}
+	return floor
+}
+
+// indexedResult carries one completion from a worker back to the
+// coordinator. pos indexes the shard's owned list, not the full grid.
+type indexedResult struct {
+	pos int
+	res *Result
+	err error
+}
+
+// Collect executes the sweep, streaming results into c in spec order.
+// See the Executor doc comment for the ordering, sharing, sharding and
+// memory guarantees.
+func (e Executor) Collect(spec Spec, c Collector) error {
 	sp := spec
 	scenarios, err := sp.Expand()
 	if err != nil {
-		return nil, err
+		return err
+	}
+	if e.RequireStored && e.Store == nil {
+		return fmt.Errorf("sweep: RequireStored without a store")
 	}
 	// Canonical config hashes, precomputed once per sweep (the workload
 	// content hash dominates and is shared by every scenario of an axis
@@ -61,80 +153,243 @@ func (e Executor) Run(spec Spec) (*ResultSet, error) {
 	if e.Store != nil && sp.Cacheable() == nil {
 		ks, err := sp.scenarioKeysFor(scenarios)
 		if err != nil {
-			return nil, err
+			return err
 		}
 		keys = ks
+	}
+	// The shard's slice of the grid, in spec order. owned[pos] is a spec
+	// index; collection order is ascending pos.
+	owned := make([]int, 0, sp.Shard.SizeOf(len(scenarios)))
+	for i := range scenarios {
+		if sp.Shard.Owns(i) {
+			owned = append(owned, i)
+		}
+	}
+	if len(owned) == 0 {
+		return nil
 	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(scenarios) {
-		workers = len(scenarios)
+	if workers > len(owned) {
+		workers = len(owned)
+	}
+	window := reorderWindow(workers)
+
+	// Dispatch cost estimates (spec order is free: cost identical ⇒ the
+	// earlier position wins the scan below).
+	costs := make([]float64, len(owned))
+	if !e.SpecOrderDispatch {
+		for p, i := range owned {
+			costs[p] = estimatedCost(&scenarios[i])
+		}
 	}
 
 	ideals := newIdealCache(&sp)
-	results := make([]*Result, len(scenarios))
-	errs := make([]error, len(scenarios))
-
 	jobs := make(chan int)
+	completions := make(chan indexedResult)
 	stop := make(chan struct{})
-	var stopOnce sync.Once
-	cancel := func() { stopOnce.Do(func() { close(stop) }) }
 
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for i := range jobs {
+			for p := range jobs {
+				i := owned[p]
 				var key string
 				if keys != nil {
 					key = keys[i]
 				}
-				res, err := e.runStored(&sp, scenarios[i], ideals, key)
-				if err != nil {
-					errs[i] = err
-					cancel()
-					continue
-				}
-				results[i] = res
+				res, err := e.runStored(&sp, scenarios[i], ideals, key, stop)
+				completions <- indexedResult{pos: p, res: res, err: err}
 			}
 		}()
 	}
-feed:
-	for i := range scenarios {
-		select {
-		case jobs <- i:
-		case <-stop:
-			break feed
+
+	// Coordinator: single goroutine interleaving dispatch and in-order
+	// collection. Invariant: every dispatched-but-uncollected position
+	// lies in [collected, collected+window), so pending + in flight never
+	// exceeds the reorder window.
+	var (
+		dispatched  = make([]bool, len(owned))
+		nDispatched int
+		inFlight    int
+		collected   int
+		pending     = make(map[int]*Result, window)
+		cancelled   bool
+		firstPos    = -1 // lowest owned position that failed
+		firstErr    error
+		collectErr  error
+	)
+	cancel := func() {
+		if cancelled {
+			return
+		}
+		cancelled = true
+		close(stop)
+		if e.onCancel != nil {
+			e.onCancel()
 		}
 	}
+	// bestEligible picks the most expensive undispatched position within
+	// the reorder window (ties to the lower position — with uniform
+	// costs, or SpecOrderDispatch, this degrades to exact spec order).
+	bestEligible := func() int {
+		lim := collected + window
+		if lim > len(owned) {
+			lim = len(owned)
+		}
+		best := -1
+		for p := collected; p < lim; p++ {
+			if dispatched[p] {
+				continue
+			}
+			if best < 0 || costs[p] > costs[best] {
+				best = p
+			}
+		}
+		return best
+	}
+
+	for collected < len(owned) {
+		if cancelled && inFlight == 0 {
+			break
+		}
+		pick := -1
+		if !cancelled && nDispatched < len(owned) {
+			pick = bestEligible()
+		}
+		jobsCh := jobs
+		if pick < 0 {
+			jobsCh = nil
+		}
+		select {
+		case jobsCh <- pick:
+			dispatched[pick] = true
+			nDispatched++
+			inFlight++
+			if e.observeDispatch != nil {
+				e.observeDispatch(owned[pick])
+			}
+			if e.observePending != nil {
+				e.observePending(len(pending) + inFlight)
+			}
+		case done := <-completions:
+			inFlight--
+			if done.err != nil {
+				// A collector error is always the cancellation's cause
+				// (collection stops at the first scenario error, so the
+				// two never both occur from one cancel) — scenario
+				// errors straggling in afterwards must not displace it.
+				if collectErr == nil && (firstPos < 0 || done.pos < firstPos) {
+					firstPos, firstErr = done.pos, done.err
+				}
+				cancel()
+				continue
+			}
+			if cancelled {
+				continue // the sweep already failed; drop the result
+			}
+			pending[done.pos] = done.res
+			if e.observePending != nil {
+				e.observePending(len(pending) + inFlight)
+			}
+			for {
+				res, ok := pending[collected]
+				if !ok {
+					break
+				}
+				delete(pending, collected)
+				if err := c.Collect(res); err != nil {
+					i := owned[collected]
+					collectErr = fmt.Errorf("sweep: collect scenario %d (%s): %w", i, scenarios[i].Name(), err)
+					cancel()
+					break
+				}
+				collected++
+			}
+		}
+	}
+	// Both loop exits guarantee inFlight == 0: the cancelled exit checks
+	// it explicitly, and full collection implies every dispatched
+	// scenario was received — in-flight stragglers always drain through
+	// the completions case above (never preempted; their results are
+	// dropped and, post-cancel, never persisted).
 	close(jobs)
 	wg.Wait()
 
-	for i, err := range errs {
-		if err != nil {
-			return nil, fmt.Errorf("sweep: scenario %d (%s): %w", i, scenarios[i].Name(), err)
-		}
+	if firstPos >= 0 {
+		i := owned[firstPos]
+		return fmt.Errorf("sweep: scenario %d (%s): %w", i, scenarios[i].Name(), firstErr)
 	}
-	return &ResultSet{Spec: &sp, Results: results}, nil
+	return collectErr
+}
+
+// estimatedCost ranks a scenario for dispatch order: a heuristic for
+// relative simulation time, never correctness — a bad estimate costs
+// wall clock, nothing else. Cost grows with the workload length and the
+// policy's per-decision scan (clairvoyant LFD walks the whole remaining
+// future, Local LFD a w-graph window, the classic policies O(1)), and
+// shrinks with the unit count (fewer units ⇒ more replacement decisions
+// and more contention).
+func estimatedCost(sc *Scenario) float64 {
+	return policyCostWeight(sc.Policy) * float64(len(sc.Workload.Seq)) / float64(sc.RUs)
+}
+
+// policyCostWeight estimates the policy axis value's per-decision cost
+// from its canonical key (falling back to the display name), recognizing
+// the LFD family the constructors in this package produce.
+func policyCostWeight(p PolicySpec) float64 {
+	key := strings.ToLower(p.Key)
+	if key == "" {
+		key = strings.ToLower(p.Name)
+	}
+	switch {
+	case strings.Contains(key, "locallfd") || strings.Contains(key, "local lfd"):
+		if _, after, ok := strings.Cut(key, ":"); ok {
+			if w, err := strconv.Atoi(strings.TrimSpace(after)); err == nil && w > 0 {
+				return 1 + float64(w)
+			}
+		}
+		return 2
+	case strings.Contains(key, "lfd"):
+		// Full-future scans dominate every other policy by an order of
+		// magnitude on long sequences.
+		return 64
+	default:
+		return 1
+	}
 }
 
 // runStored serves one scenario from the result store when possible and
 // simulates (then writes back) otherwise. key is empty when the sweep
-// runs without a store.
-func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key string) (*Result, error) {
+// runs without a store or the spec is uncacheable; stop is closed once
+// the sweep has failed, after which nothing more is persisted.
+func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key string, stop <-chan struct{}) (*Result, error) {
 	if key != "" {
 		if ent, ok := e.Store.Get(key); ok {
 			if res := resultFromEntry(sp, sc, ent); res != nil {
 				return res, nil
 			}
 		}
+		if e.RequireStored {
+			return nil, fmt.Errorf("not in result store %s (did every shard run?)", e.Store.Dir())
+		}
 	}
 	res, err := runScenario(sp, sc, ideals)
 	if err != nil || key == "" {
 		return res, err
+	}
+	select {
+	case <-stop:
+		// The sweep has already failed: a worker that happened to finish
+		// after cancellation must not persist its scenario — a failed
+		// sweep leaves the store exactly as rich as it was when the
+		// error struck, never silently part-populated beyond it.
+		return res, nil
+	default:
 	}
 	ent := &resultstore.Entry{
 		Scenario: sc.Name(),

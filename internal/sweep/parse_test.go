@@ -42,6 +42,41 @@ func TestParseRUs(t *testing.T) {
 	}
 }
 
+func TestParseShard(t *testing.T) {
+	cases := []struct {
+		in      string
+		want    Shard
+		wantErr bool
+	}{
+		{"0/2", Shard{Index: 0, Count: 2}, false},
+		{"1/2", Shard{Index: 1, Count: 2}, false},
+		{" 3 / 8 ", Shard{Index: 3, Count: 8}, false},
+		{"0/1", Shard{Index: 0, Count: 1}, false},
+		{"", Shard{}, true},
+		{"2", Shard{}, true},
+		{"2/2", Shard{}, true},  // index out of range
+		{"-1/2", Shard{}, true}, // negative index
+		{"0/0", Shard{}, true},  // no shards
+		{"a/b", Shard{}, true},
+	}
+	for _, tt := range cases {
+		got, err := ParseShard(tt.in)
+		if (err != nil) != tt.wantErr {
+			t.Errorf("ParseShard(%q) err = %v, wantErr %v", tt.in, err, tt.wantErr)
+			continue
+		}
+		if err == nil && got != tt.want {
+			t.Errorf("ParseShard(%q) = %+v, want %+v", tt.in, got, tt.want)
+		}
+	}
+	if s := (Shard{Index: 1, Count: 4}).String(); s != "1/4" {
+		t.Errorf("String() = %q, want 1/4", s)
+	}
+	if s := (Shard{}).String(); s != "0/1" {
+		t.Errorf("zero-value String() = %q, want 0/1", s)
+	}
+}
+
 func TestParsePolicies(t *testing.T) {
 	got, err := ParsePolicies("lru, locallfd:2 ,lfd", false)
 	if err != nil {

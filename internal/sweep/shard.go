@@ -1,0 +1,103 @@
+package sweep
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Shard selects one deterministic slice of a Spec's expanded scenario
+// grid, so N cooperating processes — typically on separate hosts sharing
+// one result store — can split a sweep between them and merge through
+// the store's content-addressed keys.
+//
+// The partition is round-robin over spec order: shard i of N owns every
+// scenario whose Index ≡ i (mod N). Policies are the innermost axis, so
+// consecutive indices differ in policy and each shard receives an even
+// mix of cheap and expensive series instead of a contiguous (and
+// possibly all-LFD) block. For every Count the shards are pairwise
+// disjoint and tile the grid exactly; Expand still returns the full
+// grid (spec-order indices and config hashes are shard-independent —
+// that is what makes the store merge trivial), and the Executor skips
+// the scenarios other shards own.
+//
+// The zero value means "the whole grid". Count == 1 with Index == 0 is
+// equivalent.
+type Shard struct {
+	// Index identifies this shard, 0 ≤ Index < Count.
+	Index int
+	// Count is the total number of shards the grid is split across.
+	Count int
+}
+
+// validate rejects impossible shard coordinates. The zero value is
+// valid (unsharded).
+func (sh Shard) validate() error {
+	if sh.Index == 0 && sh.Count == 0 {
+		return nil
+	}
+	if sh.Count < 1 {
+		return fmt.Errorf("sweep: shard count %d < 1", sh.Count)
+	}
+	if sh.Index < 0 || sh.Index >= sh.Count {
+		return fmt.Errorf("sweep: shard index %d outside 0..%d", sh.Index, sh.Count-1)
+	}
+	return nil
+}
+
+// enabled reports whether the shard actually restricts the grid.
+func (sh Shard) enabled() bool { return sh.Count > 1 }
+
+// Owns reports whether the scenario at spec index i belongs to this
+// shard. Every index belongs to exactly one shard of a given Count.
+func (sh Shard) Owns(i int) bool {
+	if !sh.enabled() {
+		return true
+	}
+	return i%sh.Count == sh.Index
+}
+
+// SizeOf returns how many of n spec-ordered scenarios this shard owns.
+func (sh Shard) SizeOf(n int) int {
+	if !sh.enabled() {
+		return n
+	}
+	size := n / sh.Count
+	if sh.Index < n%sh.Count {
+		size++
+	}
+	return size
+}
+
+// String renders the CLI form, "index/count" ("0/1" for the zero value).
+func (sh Shard) String() string {
+	count := sh.Count
+	if count < 1 {
+		count = 1
+	}
+	return fmt.Sprintf("%d/%d", sh.Index, count)
+}
+
+// ParseShard parses the CLI shard form "i/N" (e.g. "0/2" for the first
+// of two shards).
+func ParseShard(s string) (Shard, error) {
+	idx, count, ok := strings.Cut(strings.TrimSpace(s), "/")
+	if !ok {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want \"i/N\", e.g. \"0/2\")", s)
+	}
+	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
+	n, err2 := strconv.Atoi(strings.TrimSpace(count))
+	if err1 != nil || err2 != nil {
+		return Shard{}, fmt.Errorf("sweep: bad shard %q (want \"i/N\", e.g. \"0/2\")", s)
+	}
+	sh := Shard{Index: i, Count: n}
+	// An explicit "0/0" is a request for zero shards, not the unsharded
+	// zero value — reject it rather than silently running everything.
+	if sh.Count < 1 {
+		return Shard{}, fmt.Errorf("sweep: shard count %d < 1", sh.Count)
+	}
+	if err := sh.validate(); err != nil {
+		return Shard{}, err
+	}
+	return sh, nil
+}

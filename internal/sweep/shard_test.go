@@ -1,0 +1,178 @@
+package sweep
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestShardPartitionProperty pins the sharding contract for every Count
+// in 1..8 over grids whose size is and is not a multiple of the count:
+// the shards are pairwise disjoint, tile the full index space exactly,
+// and SizeOf agrees with Owns.
+func TestShardPartitionProperty(t *testing.T) {
+	for _, n := range []int{1, 7, 8, 28, 29, 100} {
+		for count := 1; count <= 8; count++ {
+			owner := make([]int, n)
+			for i := range owner {
+				owner[i] = -1
+			}
+			total := 0
+			for idx := 0; idx < count; idx++ {
+				sh := Shard{Index: idx, Count: count}
+				size := 0
+				for i := 0; i < n; i++ {
+					if !sh.Owns(i) {
+						continue
+					}
+					if owner[i] != -1 {
+						t.Fatalf("n=%d count=%d: index %d owned by shards %d and %d", n, count, i, owner[i], idx)
+					}
+					owner[i] = idx
+					size++
+				}
+				if got := sh.SizeOf(n); got != size {
+					t.Errorf("n=%d shard %d/%d: SizeOf = %d, Owns counted %d", n, idx, count, got, size)
+				}
+				total += size
+			}
+			if total != n {
+				t.Errorf("n=%d count=%d: shards cover %d indices, want %d", n, count, total, n)
+			}
+			for i, o := range owner {
+				if o == -1 {
+					t.Fatalf("n=%d count=%d: index %d unowned", n, count, i)
+				}
+			}
+		}
+	}
+}
+
+// TestShardedExecutionTilesGrid runs every shard of a real spec through
+// the executor and checks the union of collected scenarios is exactly
+// the full grid, each slice in spec order.
+func TestShardedExecutionTilesGrid(t *testing.T) {
+	spec := fig9Spec(t, 4, 5)
+	full, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, count := range []int{1, 2, 3, 5} {
+		seen := make(map[int]bool, spec.Size())
+		for idx := 0; idx < count; idx++ {
+			sh := spec
+			sh.Shard = Shard{Index: idx, Count: count}
+			rs, err := Executor{Workers: 4}.Run(sh)
+			if err != nil {
+				t.Fatal(err)
+			}
+			last := -1
+			for _, r := range rs.Results {
+				i := r.Scenario.Index
+				if i <= last {
+					t.Errorf("count=%d shard %d: results not in spec order (%d after %d)", count, idx, i, last)
+				}
+				last = i
+				if seen[i] {
+					t.Errorf("count=%d: scenario %d ran on two shards", count, i)
+				}
+				seen[i] = true
+				if !reflect.DeepEqual(r.Summary, full.Results[i].Summary) {
+					t.Errorf("count=%d scenario %d: sharded summary diverged from full run", count, i)
+				}
+			}
+			if len(rs.Results) != sh.Shard.SizeOf(spec.Size()) {
+				t.Errorf("count=%d shard %d: %d results, SizeOf says %d",
+					count, idx, len(rs.Results), sh.Shard.SizeOf(spec.Size()))
+			}
+		}
+		if len(seen) != spec.Size() {
+			t.Errorf("count=%d: shards ran %d of %d scenarios", count, len(seen), spec.Size())
+		}
+	}
+}
+
+// TestShardValidation: impossible shard coordinates fail the sweep
+// before anything runs.
+func TestShardValidation(t *testing.T) {
+	for name, sh := range map[string]Shard{
+		"index==count":    {Index: 2, Count: 2},
+		"negative index":  {Index: -1, Count: 2},
+		"negative count":  {Index: 0, Count: -1},
+		"index w/o count": {Index: 1, Count: 0},
+	} {
+		spec := fig9Spec(t, 4)
+		spec.Shard = sh
+		if _, err := spec.Expand(); err == nil {
+			t.Errorf("%s: shard %+v accepted", name, sh)
+		}
+	}
+}
+
+// TestShardedStoreMerge is the merge pin at the executor level: N shard
+// runs into one store followed by a RequireStored full sweep must serve
+// everything from disk and match a direct run field for field.
+func TestShardedStoreMerge(t *testing.T) {
+	spec := fig9Spec(t, 4, 5)
+	store := openStore(t)
+	const count = 3
+	for idx := 0; idx < count; idx++ {
+		sh := spec
+		sh.Shard = Shard{Index: idx, Count: count}
+		if err := (Executor{Workers: 4, Store: store}).Collect(sh, Discard); err != nil {
+			t.Fatalf("shard %d/%d: %v", idx, count, err)
+		}
+	}
+	_, _, puts := store.Stats()
+	if puts != int64(spec.Size()) {
+		t.Fatalf("shards wrote %d entries, grid has %d scenarios", puts, spec.Size())
+	}
+
+	merged, err := Executor{Workers: 4, Store: store, RequireStored: true}.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, putsAfter := store.Stats(); putsAfter != puts {
+		t.Errorf("merge run wrote %d new entries — it re-simulated", putsAfter-puts)
+	}
+	direct, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged.Results) != len(direct.Results) {
+		t.Fatalf("merged %d results, direct %d", len(merged.Results), len(direct.Results))
+	}
+	for i := range direct.Results {
+		if !reflect.DeepEqual(merged.Results[i].Summary, direct.Results[i].Summary) {
+			t.Errorf("scenario %d: merged summary diverged from direct run", i)
+		}
+	}
+}
+
+// TestRequireStoredMissFails: merge mode must error on a scenario no
+// shard populated, never silently re-simulate it.
+func TestRequireStoredMissFails(t *testing.T) {
+	spec := fig9Spec(t, 4)
+	store := openStore(t)
+	// Populate only shard 0 of 2, then demand the whole grid.
+	sh := spec
+	sh.Shard = Shard{Index: 0, Count: 2}
+	if err := (Executor{Store: store}).Collect(sh, Discard); err != nil {
+		t.Fatal(err)
+	}
+	_, err := Executor{Store: store, RequireStored: true}.Run(spec)
+	if err == nil {
+		t.Fatal("merge over a half-populated store succeeded")
+	}
+	if !strings.Contains(err.Error(), "not in result store") {
+		t.Errorf("error %q does not name the missing entry", err)
+	}
+	if _, _, puts := store.Stats(); puts != int64(sh.Shard.SizeOf(spec.Size())) {
+		t.Errorf("merge wrote entries despite RequireStored")
+	}
+
+	// RequireStored without a store is a usage error.
+	if _, err := (Executor{RequireStored: true}).Run(spec); err == nil {
+		t.Error("RequireStored without a store accepted")
+	}
+}

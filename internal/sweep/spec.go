@@ -5,12 +5,23 @@
 //
 // A Spec is the cross product of four axes (Workloads, RUs, Latencies,
 // Policies). Expand flattens it into Scenarios in a fixed spec order;
-// Executor.Run simulates them concurrently and returns results in that
-// same order, so a parallel sweep is byte-for-byte interchangeable with a
-// sequential one. Shared inputs are computed once per sweep, not once per
-// scenario: the zero-latency ideal baseline per (workload, RUs), and the
-// design-time mobility tables per (template, RUs, latency) via the
-// process-wide cache in internal/mobility.
+// Executor.Collect simulates them concurrently and streams the results
+// into a Collector in that same order, so a parallel sweep is
+// byte-for-byte interchangeable with a sequential one. Run is the
+// gather-everything wrapper (a ResultSetCollector into a ResultSet);
+// RunSummaries streams through a SummaryCollector, which drops each raw
+// run as it passes and caps the sweep's memory at O(workers) results —
+// the mode every summary-only grid report uses. Shared inputs are
+// computed once per sweep, not once per scenario: the zero-latency ideal
+// baseline per (workload, RUs), and the design-time mobility tables per
+// (template, RUs, latency) via the process-wide cache in
+// internal/mobility.
+//
+// Spec.Shard splits the grid across cooperating processes: shard i of N
+// owns every scenario whose spec index ≡ i (mod N), the shards tile the
+// grid exactly, and a shared result store merges them back into one
+// report (see Executor.RequireStored and the CLIs' -shard/-merge-report
+// flags).
 //
 // Typical use (the Fig. 9 protocol):
 //
@@ -141,6 +152,10 @@ type Spec struct {
 	NoBaseline bool
 	// RecordTrace retains full execution traces on results.
 	RecordTrace bool
+	// Shard restricts execution to one deterministic slice of the grid
+	// (see Shard); the zero value runs everything. Expansion, spec
+	// indices and config hashes are shard-independent.
+	Shard Shard
 }
 
 // Size returns the number of scenarios the Spec expands to.
@@ -154,6 +169,9 @@ func (s Spec) Size() int {
 // writers racing on one key — so it is rejected with a pointed error
 // instead of silently doubling the work.
 func (s Spec) validate() error {
+	if err := s.Shard.validate(); err != nil {
+		return err
+	}
 	if len(s.Workloads) == 0 {
 		return fmt.Errorf("sweep: no workloads")
 	}
@@ -307,7 +325,8 @@ type Result struct {
 }
 
 // ResultSet is a completed sweep: results in spec order plus axis-indexed
-// access.
+// access. Sharded sweeps produce partial sets (only the shard's results,
+// still in spec order) on which At is invalid.
 type ResultSet struct {
 	Spec    *Spec
 	Results []*Result

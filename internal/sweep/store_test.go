@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"fmt"
 	"reflect"
 	"strings"
 	"testing"
@@ -153,6 +154,64 @@ func TestStoreBypassesUncacheableSpecs(t *testing.T) {
 
 	if hits, misses, puts := store.Stats(); hits != 0 || misses != 0 || puts != 0 {
 		t.Errorf("uncacheable sweeps touched the store: %d/%d/%d", hits, misses, puts)
+	}
+}
+
+// TestNoStoreWritesAfterCancel is the failed-sweep persistence pin: a
+// worker still in flight when the first error cancels the sweep must
+// not write its scenario to the store. The test sequences the races
+// away: one worker fails immediately while two others block inside
+// their policy constructors until the cancellation has happened, so
+// every surviving scenario provably completes post-cancel.
+func TestNoStoreWritesAfterCancel(t *testing.T) {
+	store := openStore(t)
+	release := make(chan struct{})
+	blocker := func(key string) PolicySpec {
+		return PolicySpec{
+			Name: key,
+			Key:  key,
+			New: func() (policy.Policy, error) {
+				<-release // held until the sweep is cancelled
+				return policy.NewLRU(), nil
+			},
+		}
+	}
+	boom := fmt.Errorf("boom")
+	spec := fig9Spec(t, 4)
+	spec.Policies = []PolicySpec{
+		blocker("blocker-a"),
+		{Name: "broken", Key: "broken", New: func() (policy.Policy, error) { return nil, boom }},
+		blocker("blocker-b"),
+	}
+	ex := Executor{Workers: 2, Store: store}
+	ex.onCancel = func() { close(release) }
+	_, err := ex.Run(spec)
+	if err == nil {
+		t.Fatal("failing sweep succeeded")
+	}
+	if !strings.Contains(err.Error(), "scenario 1") || !strings.Contains(err.Error(), "boom") {
+		t.Errorf("error = %q, want the boom scenario", err)
+	}
+	if _, _, puts := store.Stats(); puts != 0 {
+		t.Errorf("cancelled sweep persisted %d scenarios that completed after the failure", puts)
+	}
+}
+
+// TestPreCancelWritesSurvive: scenarios persisted before the error
+// struck stay in the store — only post-cancel writes are suppressed.
+func TestPreCancelWritesSurvive(t *testing.T) {
+	store := openStore(t)
+	spec := fig9Spec(t, 4)
+	spec.Policies = []PolicySpec{
+		spec.Policies[0], // LRU, completes and persists first
+		{Name: "broken", Key: "broken", New: func() (policy.Policy, error) { return nil, fmt.Errorf("boom") }},
+		spec.Policies[3], // never dispatched on a sequential pool
+	}
+	if _, err := (Executor{Workers: 1, Store: store, SpecOrderDispatch: true}).Run(spec); err == nil {
+		t.Fatal("failing sweep succeeded")
+	}
+	if _, _, puts := store.Stats(); puts != 1 {
+		t.Errorf("sweep persisted %d scenarios, want exactly the one completed before the error", puts)
 	}
 }
 
