@@ -13,29 +13,43 @@
 // stay byte-identical — CI runs the suite twice into one store and diffs
 // the outputs. The hit/miss digest goes to stderr, never into a report.
 //
-// A sweep too large for one machine splits across hosts sharing a store:
+// A sweep too large for one machine splits across hosts sharing a store.
+// The self-healing way is the coordinator — every host runs the same
+// command and the pool divides the work by leasing shards:
 //
-//	host A:  rtrrepro -store /shared/store -shard 0/2   # no report; populates
-//	host B:  rtrrepro -store /shared/store -shard 1/2
-//	any:     rtrrepro -store /shared/store -merge-report > report.txt
+//	every host:  rtrrepro -store /shared/store -coord /shared/coord -coord-shards 16
+//	any:         rtrrepro -store /shared/store -merge-report > report.txt
 //
-// Shard i/N runs every grid experiment's scenarios whose spec index ≡ i
-// (mod N) into the store and renders nothing (a per-shard digest —
-// scenarios ran, skipped by other shards, store hits/misses — goes to
-// stderr). -merge-report renders the full suite purely from the store:
-// a grid scenario missing from it is an error, never a silent
-// re-simulation, so the merged report is byte-identical to a
-// single-process run — CI enforces exactly that. Experiments with
-// nothing to persist (worked examples, timing tables, trace or
-// per-task-latency sweeps) run live at merge time.
+// Each worker claims the next unleased shard, heartbeats while it
+// populates the store, marks the shard done and claims another until
+// none remain. A worker that dies mid-shard stops heartbeating; once its
+// lease outlives -lease-ttl any surviving worker re-claims the shard and
+// re-runs its slice (idempotent — the store dedupes by config hash, so
+// only what the dead worker left unfinished re-simulates).
+// -coord-workers N runs N claim loops inside one process;
+// -coord-status prints the per-shard state without running anything.
+//
+// Manual sharding remains for fixed CI matrices: -shard i/N runs every
+// grid experiment's scenarios whose spec index ≡ i (mod N) into the
+// store and renders nothing (a per-shard digest — scenarios ran, skipped
+// by other shards, store hits/misses — goes to stderr). Either way,
+// -merge-report renders the full suite purely from the store: a grid
+// scenario missing from it is an error, never a silent re-simulation, so
+// the merged report is byte-identical to a single-process run — CI
+// enforces exactly that, including after SIGKILLing a coordinator worker
+// mid-sweep. Experiments with nothing to persist (worked examples,
+// timing tables, trace or per-task-latency sweeps) run live at merge
+// time.
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
+	"repro/internal/coord"
 	"repro/internal/experiments"
 	"repro/internal/resultstore"
 	"repro/internal/simtime"
@@ -56,6 +70,13 @@ func main() {
 		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
 		shardStr = flag.String("shard", "", "run only shard i/N of every grid experiment into -store (e.g. \"0/2\"); renders no report")
 		merge    = flag.Bool("merge-report", false, "render the report purely from -store (populated by N -shard runs); a missing grid scenario is an error")
+
+		coordDir     = flag.String("coord", "", "shard coordinator state directory: claim, heartbeat and re-lease shards from a self-healing pool into -store; every host runs this same command")
+		coordShards  = flag.Int("coord-shards", 0, "total shard count for the -coord pool; the first worker persists it, later workers may omit it (0) or must agree")
+		coordWorkers = flag.Int("coord-workers", 1, "concurrent shard-claim loops inside this process")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
+		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
+		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
 	)
 	flag.Parse()
 
@@ -69,6 +90,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(line)
+		return
+	}
+	if *coordStatus {
+		if *coordDir == "" {
+			fatal(fmt.Errorf("-coord-status needs a coordinator directory (-coord DIR)"))
+		}
+		c, err := coord.Open(coord.Config{Dir: *coordDir, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
+		if err != nil {
+			fatal(err)
+		}
+		st, err := c.Status()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render(*coordDir))
 		return
 	}
 
@@ -92,6 +128,40 @@ func main() {
 		fatal(err)
 	}
 
+	if *coordDir != "" {
+		if *shardStr != "" || *merge {
+			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard/-merge-report (merge separately once the pool drains)"))
+		}
+		if store == nil {
+			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
+		}
+		c, err := coord.Open(coord.Config{
+			Dir: *coordDir, Shards: *coordShards,
+			LeaseTTL: *leaseTTL, Heartbeat: *heartbeat,
+			Fingerprint: coordFingerprint(opt, selected),
+		})
+		if errors.Is(err, coord.ErrUninitialised) {
+			fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := c.RunWorkers(*coordWorkers, func(r coord.ShardRun) error {
+			sh := sweep.Shard{Index: r.Shard, Count: r.Count}
+			st, err := experiments.Populate(opt, selected, sh)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "coord worker %s: %s (attempt %d)\n", c.Owner(), shardDigest(sh, st), r.Attempt)
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
+		fmt.Fprintln(os.Stderr, store.SummaryLine())
+		return
+	}
 	if *shardStr != "" {
 		shard, err := sweep.ParseShard(*shardStr)
 		if err != nil {
@@ -134,6 +204,26 @@ func main() {
 func shardDigest(shard sweep.Shard, st experiments.PopulateStats) string {
 	return fmt.Sprintf("shard %s: ran %d of %d grid scenarios across %d grids (%d skipped by other shards)",
 		shard, st.Ran, st.Scenarios, st.Grids, st.SkippedByShard)
+}
+
+// coordFingerprint identifies the sweep a coordinator pool is running —
+// the parameters that determine the store entries the shards populate.
+// Hosts launched with different flags against one pool would tile
+// different grids into one store and fail only at merge time; the
+// fingerprint turns that operator error into an immediate refusal.
+func coordFingerprint(opt experiments.Options, selected []experiments.Experiment) string {
+	h := resultstore.NewHash()
+	h.String("cli", "rtrrepro")
+	h.Int("seed", opt.Seed)
+	h.Int("apps", int64(opt.Apps))
+	for _, r := range opt.RUs {
+		h.Int("ru", int64(r))
+	}
+	h.Int("latency", int64(opt.Latency))
+	for _, e := range selected {
+		h.String("experiment", e.ID)
+	}
+	return h.Sum()
 }
 
 // selectExperiments resolves the -only flag: empty means the full suite.

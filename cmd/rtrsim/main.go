@@ -20,26 +20,35 @@
 // schema version; -no-store disables the store even when RTR_STORE is
 // set. Trace-producing runs (-gantt/-svg/-trace) bypass the store.
 //
-// A grid too large for one machine splits across hosts sharing a store:
+// A grid too large for one machine splits across hosts sharing a store.
+// With -coord every host runs the same command and a self-healing pool
+// leases the shards:
 //
-//	host A:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -shard 0/2
-//	host B:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -shard 1/2
-//	any:     rtrsim -policy lru,lfd -rus 4-10 -store /shared -merge-report
+//	every host:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -coord /shared/coord -coord-shards 8
+//	any:         rtrsim -policy lru,lfd -rus 4-10 -store /shared -merge-report
 //
-// -shard i/N simulates only the scenarios whose spec index ≡ i (mod N)
-// into the store and prints no table (the per-shard digest — scenarios
-// ran, skipped by other shards, store hits/misses — goes to stderr);
-// -merge-report renders the full comparison table purely from the store,
-// failing on any scenario a shard never populated.
+// Workers claim shards, heartbeat while populating the store, and
+// re-lease any shard whose worker stops heartbeating for -lease-ttl
+// (idempotent: the store dedupes by config hash). -coord-workers runs
+// several claim loops in one process; -coord-status prints the pool
+// state. Manual -shard i/N remains for fixed matrices: it simulates only
+// the scenarios whose spec index ≡ i (mod N) into the store and prints
+// no table (the per-shard digest — scenarios ran, skipped by other
+// shards, store hits/misses — goes to stderr); -merge-report renders the
+// full comparison table purely from the store, failing on any scenario a
+// shard never populated.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
 	"os"
+	"time"
 
+	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/dynlist"
 	"repro/internal/metrics"
@@ -71,6 +80,13 @@ func main() {
 		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
 		shardStr = flag.String("shard", "", "simulate only shard i/N of the sweep grid into -store (e.g. \"0/2\"); prints no table")
 		merge    = flag.Bool("merge-report", false, "render the sweep table purely from -store (populated by N -shard runs); a missing scenario is an error")
+
+		coordDir     = flag.String("coord", "", "shard coordinator state directory: claim, heartbeat and re-lease sweep shards from a self-healing pool into -store; every host runs this same command")
+		coordShards  = flag.Int("coord-shards", 0, "total shard count for the -coord pool; the first worker persists it, later workers may omit it (0) or must agree")
+		coordWorkers = flag.Int("coord-workers", 1, "concurrent shard-claim loops inside this process")
+		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
+		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
+		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
 	)
 	flag.Parse()
 
@@ -84,6 +100,21 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(line)
+		return
+	}
+	if *coordStatus {
+		if *coordDir == "" {
+			fatal(fmt.Errorf("-coord-status needs a coordinator directory (-coord DIR)"))
+		}
+		c, err := coord.Open(coord.Config{Dir: *coordDir, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
+		if err != nil {
+			fatal(err)
+		}
+		st, err := c.Status()
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Print(st.Render(*coordDir))
 		return
 	}
 
@@ -116,7 +147,15 @@ func main() {
 	if *merge && store == nil {
 		fatal(fmt.Errorf("-merge-report needs a result store (-store DIR or $RTR_STORE)"))
 	}
-	sharded := *shardStr != "" || *merge
+	if *coordDir != "" {
+		if *shardStr != "" || *merge {
+			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard/-merge-report (merge separately once the pool drains)"))
+		}
+		if store == nil {
+			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
+		}
+	}
+	sharded := *shardStr != "" || *merge || *coordDir != ""
 
 	if len(units) == 1 && len(policies) == 1 && !sharded {
 		runSingle(*wl, seq, singleOptions{
@@ -132,10 +171,18 @@ func main() {
 			fatal(fmt.Errorf("-gantt/-svg/-trace need a single scenario; got %d policies × %d unit counts",
 				len(policies), len(units)))
 		}
+		var coordOpt *coordOptions
+		if *coordDir != "" {
+			coordOpt = &coordOptions{
+				dir: *coordDir, shards: *coordShards, workers: *coordWorkers,
+				ttl: *leaseTTL, heartbeat: *heartbeat,
+			}
+		}
 		runSweep(*wl, seq, sweepOptions{
 			units: units, policies: policies, latency: simtime.FromMs(*latency),
 			prefetch: *prefetch, parallel: *parallel,
 			shard: shard, populate: *shardStr != "", merge: *merge,
+			coord: coordOpt,
 		}, store)
 	}
 	if store != nil {
@@ -244,6 +291,17 @@ type sweepOptions struct {
 	shard    sweep.Shard
 	populate bool
 	merge    bool
+	// coord: claim shards from a self-healing pool instead of running a
+	// fixed -shard slice; no table either.
+	coord *coordOptions
+}
+
+// coordOptions carries the -coord* flags into the sweep path.
+type coordOptions struct {
+	dir            string
+	shards         int
+	workers        int
+	ttl, heartbeat time.Duration
 }
 
 // runSweep executes the policies × unit-counts grid on the streaming
@@ -261,6 +319,41 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 		RUs:       o.units,
 		Latencies: []simtime.Time{o.latency},
 		Policies:  o.policies,
+	}
+	if o.coord != nil {
+		// A pool populate is only useful if the grid can be persisted —
+		// an uncacheable spec would simulate every slice and store
+		// nothing, failing only at merge time.
+		if err := spec.Cacheable(); err != nil {
+			fatal(fmt.Errorf("-coord: %w", err))
+		}
+		c, err := coord.Open(coord.Config{
+			Dir: o.coord.dir, Shards: o.coord.shards,
+			LeaseTTL: o.coord.ttl, Heartbeat: o.coord.heartbeat,
+			Fingerprint: sweepFingerprint(wl, &spec),
+		})
+		if errors.Is(err, coord.ErrUninitialised) {
+			fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
+		}
+		if err != nil {
+			fatal(err)
+		}
+		stats, err := c.RunWorkers(o.coord.workers, func(r coord.ShardRun) error {
+			sp := spec
+			sp.Shard = sweep.Shard{Index: r.Shard, Count: r.Count}
+			if err := (sweep.Executor{Workers: o.parallel, Store: store}).Collect(sp, sweep.Discard); err != nil {
+				return err
+			}
+			n := sp.Size()
+			fmt.Fprintf(os.Stderr, "coord worker %s: shard %s: ran %d of %d scenarios (%d skipped by other shards) (attempt %d)\n",
+				c.Owner(), sp.Shard, sp.Shard.SizeOf(n), n, n-sp.Shard.SizeOf(n), r.Attempt)
+			return nil
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
+		return
 	}
 	if o.populate {
 		spec.Shard = o.shard
@@ -289,6 +382,24 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 				s.Loads, row.Counters.Skips)
 		}
 	}
+}
+
+// sweepFingerprint identifies the exact grid a coordinator pool tiles:
+// the canonical config hashes of every scenario the spec expands to.
+// Hosts whose flags expand to a different grid are refused at Open
+// instead of corrupting the pool's store coverage.
+func sweepFingerprint(wl string, spec *sweep.Spec) string {
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		fatal(err)
+	}
+	h := resultstore.NewHash()
+	h.String("cli", "rtrsim")
+	h.String("workload", wl)
+	for _, k := range keys {
+		h.String("scenario", k)
+	}
+	return h.Sum()
 }
 
 func buildWorkload(name string, apps int, seed int64) ([]*taskgraph.Graph, error) {

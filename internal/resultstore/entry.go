@@ -16,6 +16,13 @@ type Entry struct {
 	// not part of the identity (the key is).
 	Scenario string `json:"scenario,omitempty"`
 
+	// ElapsedNS is the measured wall time, in nanoseconds, of simulating
+	// this scenario (its own run — not the shared ideal baseline or the
+	// design-time phase, which are amortized across a sweep). It is a
+	// dispatch-cost measurement, never part of the result: reports ignore
+	// it, and ElapsedHint serves it across schema versions.
+	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
+
 	Run     *Run             `json:"run"`
 	Ideal   *Run             `json:"ideal,omitempty"`
 	Summary *metrics.Summary `json:"summary,omitempty"`

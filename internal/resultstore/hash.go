@@ -22,12 +22,15 @@ type Hash struct {
 	h hash.Hash
 }
 
-// NewHash starts a canonical config hash. The schema version is folded in
-// first, so a schema bump changes every key.
+// NewHash starts a canonical config hash. The schema version is
+// deliberately NOT part of the key: a key identifies a configuration,
+// while the schema version (recorded inside each entry) governs whether
+// a stored outcome is still servable. Keeping keys stable across schema
+// bumps means a bump's re-simulation overwrites old entries in place
+// instead of orphaning them, and their measured timings keep feeding
+// dispatch-cost estimation (Store.ElapsedHint) until overwritten.
 func NewHash() *Hash {
-	h := &Hash{h: sha256.New()}
-	h.Int("schema", SchemaVersion)
-	return h
+	return &Hash{h: sha256.New()}
 }
 
 func (h *Hash) frame(b []byte) {

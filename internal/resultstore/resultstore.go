@@ -32,6 +32,7 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+	"time"
 )
 
 // SchemaVersion identifies the entry layout and the config-hash recipe.
@@ -39,7 +40,17 @@ import (
 // subset of a run result, or the set of inputs folded into scenario keys
 // (see internal/sweep's golden hash test). Old entries then read as
 // misses and `rtrsim -store-gc` reclaims them.
-const SchemaVersion = 1
+//
+// Since version 2 the schema version lives only inside the entry, not in
+// the config-hash key: a bump makes every old entry unservable (Get
+// rejects it) without moving it to a different path, so the
+// re-simulation overwrites it in place — no orphaned files — and its
+// measured timing keeps feeding dispatch-cost estimation through
+// ElapsedHint until then.
+//
+// v2: entries gained the measured ElapsedNS timing and keys stopped
+// folding in the schema version.
+const SchemaVersion = 2
 
 // Store is a content-addressed result store rooted at a directory. The
 // zero value is not usable; call Open. A Store is safe for concurrent use.
@@ -163,6 +174,39 @@ func (s *Store) put(key string, e *Entry) error {
 		return fmt.Errorf("resultstore: commit %s: %w", key, err)
 	}
 	return nil
+}
+
+// elapsedProbe is the minimal decode ElapsedHint performs: the recorded
+// key (a self-consistency check) and the measured timing. Every other
+// entry field — including the schema version — is irrelevant to a cost
+// hint.
+type elapsedProbe struct {
+	Key       string `json:"key"`
+	ElapsedNS int64  `json:"elapsed_ns"`
+}
+
+// ElapsedHint returns the measured simulation wall time recorded under
+// key, for dispatch-cost estimation only. Unlike Get it accepts entries
+// written under any schema version: keys deliberately exclude the schema
+// version, so after a bump the entry at the same key is unservable but
+// its timing is still the best available estimate of what re-simulating
+// the scenario will cost. A hint is never a serve — lookups here do not
+// touch the hit/miss counters, and a wrong hint costs wall clock, never
+// correctness.
+func (s *Store) ElapsedHint(key string) (time.Duration, bool) {
+	p, err := s.path(key)
+	if err != nil {
+		return 0, false
+	}
+	data, err := os.ReadFile(p)
+	if err != nil {
+		return 0, false
+	}
+	var e elapsedProbe
+	if err := json.Unmarshal(data, &e); err != nil || e.Key != key || e.ElapsedNS <= 0 {
+		return 0, false
+	}
+	return time.Duration(e.ElapsedNS), true
 }
 
 // Stats reports the cumulative lookup and write counters since Open.

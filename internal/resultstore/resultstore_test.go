@@ -241,6 +241,76 @@ func TestRunRecordRoundTrip(t *testing.T) {
 	}
 }
 
+// TestElapsedHint covers the dispatch-cost probe: it serves recorded
+// timings for current AND stale-schema entries (the key identifies the
+// configuration; only servability is schema-gated), never counts toward
+// the hit/miss stats, and rejects anything that could misattribute a
+// timing — a missing entry, a zero/absent measurement, a key mismatch.
+func TestElapsedHint(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(1)
+	if _, ok := s.ElapsedHint(key); ok {
+		t.Error("hint served from an empty store")
+	}
+	e := sampleEntry()
+	e.ElapsedNS = 123456789
+	if err := s.Put(key, e); err != nil {
+		t.Fatal(err)
+	}
+	if d, ok := s.ElapsedHint(key); !ok || d.Nanoseconds() != 123456789 {
+		t.Errorf("hint = %v, %v; want 123456789ns", d, ok)
+	}
+
+	// A stale-schema rewrite keeps the timing servable as a hint while
+	// Get refuses the outcome.
+	e.Schema = SchemaVersion + 1
+	e.Key = key
+	data, _ := json.Marshal(e)
+	p := filepath.Join(dir, "objects", key[:2], key+".json")
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get(key); ok {
+		t.Error("stale-schema entry served as an outcome")
+	}
+	if d, ok := s.ElapsedHint(key); !ok || d.Nanoseconds() != 123456789 {
+		t.Errorf("stale-schema hint = %v, %v; want the recorded timing", d, ok)
+	}
+
+	// No recorded measurement → no hint.
+	noTime := testKey(2)
+	if err := s.Put(noTime, sampleEntry()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ElapsedHint(noTime); ok {
+		t.Error("hint served from an entry without a measurement")
+	}
+
+	// A key mismatch (hand-moved file) must not leak another scenario's
+	// timing, and malformed keys are rejected like everywhere else.
+	e.Key = testKey(3)
+	data, _ = json.Marshal(e)
+	if err := os.WriteFile(p, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.ElapsedHint(key); ok {
+		t.Error("hint served despite a key mismatch")
+	}
+	if _, ok := s.ElapsedHint("not-a-key"); ok {
+		t.Error("hint served for a malformed key")
+	}
+
+	// Hint traffic never pollutes the serve stats the CI gates grep.
+	hits, misses, _ := s.Stats()
+	if hits != 0 || misses != 1 {
+		t.Errorf("stats hits=%d misses=%d after hint lookups, want only the one real Get miss", hits, misses)
+	}
+}
+
 func TestHashFramingAndDeterminism(t *testing.T) {
 	digest := func(build func(*Hash)) string {
 		h := NewHash()

@@ -1,0 +1,47 @@
+// Package storetest holds result-store helpers for tests and benchmarks
+// — state manipulations that production code must never perform but
+// several test sites need identically.
+package storetest
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/resultstore"
+)
+
+// StaleifySchema rewrites every entry under dir with an unservable
+// schema version, keeping everything else (keys, recorded timings)
+// intact — the state a store is in right after a
+// resultstore.SchemaVersion bump, where every scenario must re-simulate
+// but last run's measurements still feed dispatch-cost estimation
+// (Store.ElapsedHint). Tests and benchmarks of that path share this one
+// recipe so it cannot drift between them.
+func StaleifySchema(tb testing.TB, dir string) {
+	tb.Helper()
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(p string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(p, ".json") {
+			return err
+		}
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		var raw map[string]any
+		if err := json.Unmarshal(data, &raw); err != nil {
+			return err
+		}
+		raw["schema"] = resultstore.SchemaVersion + 1000
+		out, err := json.Marshal(raw)
+		if err != nil {
+			return err
+		}
+		return os.WriteFile(p, out, 0o644)
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+}

@@ -3,9 +3,11 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/dynlist"
 	"repro/internal/manager"
@@ -30,7 +32,12 @@ import (
 // (longest-processing-time order) rather than spec order: an LFD-family
 // scenario at a low unit count costs an order of magnitude more than LRU
 // at a high one, and feeding it last would leave the pool idle behind a
-// single straggler. Collection stays in spec order either way, held to a
+// single straggler. With a Store attached, the estimate prefers the
+// measured wall time a previous run recorded with each entry (served by
+// ElapsedHint across schema versions, so even the full re-simulation
+// after a schema bump dispatches on real measurements) and falls back to
+// the static heuristic, rescaled onto the measured scale, for scenarios
+// never simulated before. Collection stays in spec order either way, held to a
 // bounded reorder window so a sweep never buffers more than O(workers)
 // completed results — the property that lets SummaryCollector sweeps run
 // grids far larger than memory would hold as ResultSets. The memory
@@ -178,11 +185,18 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	window := reorderWindow(workers)
 
 	// Dispatch cost estimates (spec order is free: cost identical ⇒ the
-	// earlier position wins the scan below).
+	// earlier position wins the scan below). With a store attached, a
+	// scenario whose previous simulation left a measured wall time behind
+	// is ranked by that measurement instead of the static heuristic; the
+	// heuristic costs of the remaining scenarios are rescaled onto the
+	// measured scale so the two stay comparable within one grid.
 	costs := make([]float64, len(owned))
 	if !e.SpecOrderDispatch {
 		for p, i := range owned {
 			costs[p] = estimatedCost(&scenarios[i])
+		}
+		if keys != nil {
+			applyMeasuredCosts(e.Store, owned, keys, costs)
 		}
 	}
 
@@ -327,6 +341,48 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	return collectErr
 }
 
+// applyMeasuredCosts overwrites heuristic dispatch costs with measured
+// wall times where the store has them (ElapsedHint serves timings across
+// schema versions — after a bump, the warm re-run that re-simulates
+// everything is exactly the run that profits most from last time's
+// measurements). Scenarios without a measurement keep their heuristic
+// cost, rescaled by the median measured-to-heuristic ratio of the
+// scenarios that have both, so a measured 3 s scenario and an unmeasured
+// heuristic-64 one sort on one comparable scale. Like the heuristic
+// itself this affects wall clock only, never results.
+//
+// On a fully warm run each entry file is read twice — the probe here,
+// the serve in runStored. Deliberate: memoizing decoded entries between
+// the two would hold O(grid) raw results and break the executor's
+// O(workers) memory bound, while the second read hits the page cache
+// and a warm serve is ~instant regardless of its dispatch position.
+func applyMeasuredCosts(store *resultstore.Store, owned []int, keys []string, costs []float64) {
+	measured := make([]float64, len(owned))
+	var ratios []float64
+	for p, i := range owned {
+		hint, ok := store.ElapsedHint(keys[i])
+		if !ok {
+			continue
+		}
+		measured[p] = float64(hint)
+		if costs[p] > 0 {
+			ratios = append(ratios, measured[p]/costs[p])
+		}
+	}
+	if len(ratios) == 0 {
+		return
+	}
+	sort.Float64s(ratios)
+	scale := ratios[len(ratios)/2]
+	for p := range costs {
+		if measured[p] > 0 {
+			costs[p] = measured[p]
+		} else {
+			costs[p] *= scale
+		}
+	}
+}
+
 // estimatedCost ranks a scenario for dispatch order: a heuristic for
 // relative simulation time, never correctness — a bad estimate costs
 // wall clock, nothing else. Cost grows with the workload length and the
@@ -392,10 +448,11 @@ func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key strin
 	default:
 	}
 	ent := &resultstore.Entry{
-		Scenario: sc.Name(),
-		Run:      resultstore.RecordRun(res.Run),
-		Ideal:    resultstore.RecordRun(res.Ideal),
-		Summary:  res.Summary,
+		Scenario:  sc.Name(),
+		ElapsedNS: int64(res.Elapsed),
+		Run:       resultstore.RecordRun(res.Run),
+		Ideal:     resultstore.RecordRun(res.Ideal),
+		Summary:   res.Summary,
 	}
 	// A failed write (full disk, read-only store) must not lose the
 	// computed sweep: the store degrades to re-simulation next run and
@@ -445,11 +502,16 @@ func runScenario(sp *Spec, sc Scenario, ideals *idealCache) (*Result, error) {
 		}
 		cfg.Mobility = lookup
 	}
+	// Only the scenario's own simulation is timed: the ideal baseline and
+	// the design-time mobility tables are shared across the sweep, so
+	// folding their one-off cost into whichever scenario happened to pay
+	// it would skew the measured dispatch costs of warm re-runs.
+	start := time.Now()
 	run, err := manager.Run(cfg, dynlist.NewSequence(sc.Workload.Seq...))
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Scenario: sc, Run: run}
+	res := &Result{Scenario: sc, Elapsed: time.Since(start), Run: run}
 	if sp.NoBaseline {
 		return res, nil
 	}

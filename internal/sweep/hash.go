@@ -36,11 +36,13 @@ func (s *Spec) Cacheable() error {
 
 // ScenarioKeys computes the canonical config hash of every scenario the
 // Spec expands to, in spec order. The hash folds in everything that
-// determines a scenario's stored outcome: the store schema version, the
-// full workload content (template structure and arrival sequence — which
-// subsumes the generator seed), the unit count, the reconfiguration
-// latency, the policy key and display name, every feature flag, and
-// whether the ideal baseline is computed. Distinct scenarios hashing to
+// determines a scenario's configuration: the full workload content
+// (template structure and arrival sequence — which subsumes the
+// generator seed), the unit count, the reconfiguration latency, the
+// policy key and display name, every feature flag, and whether the ideal
+// baseline is computed. The store schema version is deliberately not an
+// input — it lives inside each entry, so a bump invalidates stored
+// outcomes without moving their keys (see resultstore.NewHash). Distinct scenarios hashing to
 // the same key (content-duplicate axis values that slipped past
 // validate's structural check) are an error: the grid would silently
 // simulate the same configuration twice.

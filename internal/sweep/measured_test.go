@@ -1,0 +1,198 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/resultstore"
+	"repro/internal/resultstore/storetest"
+)
+
+// fabricateTimings writes one minimal store entry per scenario whose
+// measured elapsed time is controlled by the caller: elapsed(i) is the
+// recorded wall time for spec index i. The entries are valid for the
+// current schema, so they also serve as hits.
+func fabricateTimings(t *testing.T, store *resultstore.Store, spec Spec, elapsed func(i int) time.Duration) []string {
+	t.Helper()
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, key := range keys {
+		ent := &resultstore.Entry{
+			ElapsedNS: int64(elapsed(i)),
+			Run:       &resultstore.Run{Executed: 1, Graphs: 1},
+		}
+		if err := store.Put(key, ent); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return keys
+}
+
+// TestMeasuredCostDispatchOrder pins the measured-cost feed: with a store
+// carrying per-scenario wall times, dispatch must follow the measurements
+// in descending order — even where they contradict the static heuristic.
+// The fabricated timings are largest at spec index 0 (an LRU scenario the
+// heuristic ranks cheapest), so a heuristic feed would start elsewhere.
+func TestMeasuredCostDispatchOrder(t *testing.T) {
+	spec := fig9Spec(t, 6, 4)
+	spec.NoBaseline = true
+	n := spec.Size()
+	store := openStore(t)
+	fabricateTimings(t, store, spec, func(i int) time.Duration {
+		return time.Duration(n-i) * time.Millisecond // descending in spec order
+	})
+
+	order := dispatchOrder(t, Executor{Workers: 1, Store: store}, spec)
+	for step, idx := range order {
+		if idx != step {
+			t.Fatalf("dispatch step %d ran scenario %d; measured costs descend in spec order, so dispatch must too (full order %v)", step, idx, order)
+		}
+	}
+
+	// Without the store the same grid must NOT dispatch in spec order:
+	// the heuristic starts with the expensive contended LFD block at the
+	// grid's end. This guards against the measured feed silently becoming
+	// a no-op (the assertion above would then pass vacuously).
+	heuristic := dispatchOrder(t, Executor{Workers: 1}, spec)
+	if heuristic[0] == 0 {
+		t.Fatalf("heuristic dispatch also starts at spec index 0 — the measured-order assertion proves nothing (order %v)", heuristic)
+	}
+}
+
+// TestMeasuredCostSurvivesSchemaBump is the case the hint path exists
+// for: after a schema bump every entry is unservable (the whole grid
+// re-simulates) but the timings recorded at the same keys still drive
+// dispatch. The re-simulation then overwrites the stale entries in place
+// with fresh measurements.
+func TestMeasuredCostSurvivesSchemaBump(t *testing.T) {
+	spec := fig9Spec(t, 6, 4)
+	spec.NoBaseline = true
+	n := spec.Size()
+	store := openStore(t)
+	keys := fabricateTimings(t, store, spec, func(i int) time.Duration {
+		return time.Duration(n-i) * time.Millisecond
+	})
+	storetest.StaleifySchema(t, store.Dir())
+	// Fresh handle: the stats below must describe the post-bump sweep
+	// alone, not the fabrication writes.
+	store, err := resultstore.Open(store.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	order := dispatchOrder(t, Executor{Workers: 1, Store: store}, spec)
+	for step, idx := range order {
+		if idx != step {
+			t.Fatalf("dispatch step %d ran scenario %d; stale-schema timings must still order dispatch (full order %v)", step, idx, order)
+		}
+	}
+	// Unservable entries mean every scenario really re-simulated and was
+	// written back under the current schema, with a real measurement.
+	hits, misses, puts := store.Stats()
+	if hits != 0 || misses != int64(n) || puts != int64(n) {
+		t.Fatalf("stale store stats hits=%d misses=%d puts=%d, want 0/%d/%d", hits, misses, puts, n, n)
+	}
+	for _, key := range keys {
+		ent, ok := store.Get(key)
+		if !ok {
+			t.Fatalf("re-simulation did not overwrite the stale entry for %s", key[:12])
+		}
+		if ent.ElapsedNS <= 0 {
+			t.Fatalf("rewritten entry for %s lost the measured timing", key[:12])
+		}
+	}
+}
+
+// TestMeasuredCostPartialHintsCalibrated covers the mixed grid: a few
+// scenarios measured, the rest on the rescaled heuristic. Scenario 1 is a
+// Local LFD series the heuristic ranks well above LRU, but its recorded
+// measurement is a microsecond — so on the calibrated scale it must sink
+// below every unmeasured scenario and dispatch last. The unmeasured
+// scenarios keep their heuristic relative order (rescaling by one factor
+// cannot reorder them).
+func TestMeasuredCostPartialHintsCalibrated(t *testing.T) {
+	spec := fig9Spec(t, 6, 4)
+	spec.NoBaseline = true
+	store := openStore(t)
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Scenario 0 (LRU at R=6, the heuristic's cheapest) measured at an
+	// hour anchors the calibration scale; scenario 1 (Local LFD, ranked
+	// above it by the heuristic) measured at a microsecond must sink.
+	for i, d := range map[int]time.Duration{0: time.Hour, 1: time.Microsecond} {
+		ent := &resultstore.Entry{
+			ElapsedNS: int64(d),
+			Run:       &resultstore.Run{Executed: 1, Graphs: 1},
+		}
+		if err := store.Put(keys[i], ent); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	order := dispatchOrder(t, Executor{Workers: 1, Store: store}, spec)
+	if last := order[len(order)-1]; last != 1 {
+		t.Fatalf("dispatch ended with %d, want the microsecond-measured scenario 1 last (order %v)", last, order)
+	}
+	heuristic := dispatchOrder(t, Executor{Workers: 1}, spec)
+	if hLast := heuristic[len(heuristic)-1]; hLast == 1 {
+		t.Fatalf("heuristic alone also dispatches scenario 1 last — the demotion assertion proves nothing (order %v)", heuristic)
+	}
+	rest := func(o []int) []int {
+		var out []int
+		for _, i := range o {
+			if i != 0 && i != 1 {
+				out = append(out, i)
+			}
+		}
+		return out
+	}
+	gotRest, wantRest := rest(order), rest(heuristic)
+	for i := range wantRest {
+		if gotRest[i] != wantRest[i] {
+			t.Fatalf("unmeasured scenarios reordered: got %v, want heuristic order %v", gotRest, wantRest)
+		}
+	}
+}
+
+// TestElapsedRecordedAndServed: a cold store-backed sweep records every
+// scenario's measured wall time on its entry (ElapsedHint serves it), and
+// a warm re-run — which simulates nothing — reports zero Elapsed on its
+// results instead of replaying the stale measurement as its own.
+func TestElapsedRecordedAndServed(t *testing.T) {
+	spec := fig9Spec(t, 4)
+	store := openStore(t)
+	ex := Executor{Workers: 2, Store: store}
+
+	cold, err := ex.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range cold.Results {
+		if r.Elapsed <= 0 {
+			t.Errorf("cold scenario %s has no measured elapsed time", r.Scenario.Name())
+		}
+	}
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range keys {
+		if hint, ok := store.ElapsedHint(key); !ok || hint <= 0 {
+			t.Errorf("no elapsed hint recorded for %s", key[:12])
+		}
+	}
+
+	warm, err := ex.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range warm.Results {
+		if r.Elapsed != 0 {
+			t.Errorf("store-served scenario %s claims a measured elapsed time of %v", r.Scenario.Name(), r.Elapsed)
+		}
+	}
+}

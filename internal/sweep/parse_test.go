@@ -1,6 +1,9 @@
 package sweep
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 func TestParseRUs(t *testing.T) {
 	cases := []struct {
@@ -74,6 +77,39 @@ func TestParseShard(t *testing.T) {
 	}
 	if s := (Shard{}).String(); s != "0/1" {
 		t.Errorf("zero-value String() = %q, want 0/1", s)
+	}
+}
+
+// TestParseShardErrorMessages pins the operator-facing diagnostics: every
+// rejection names the -shard flag, echoes the offending value, says which
+// part is wrong, and shows the accepted "i/N" form where the fix isn't
+// implied. A typo on one host of a multi-host sweep must be diagnosable
+// from the message alone.
+func TestParseShardErrorMessages(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string // every fragment must appear in the error
+	}{
+		{"", []string{`-shard ""`, `"i/N"`, `"0/2"`}},
+		{"3", []string{`-shard "3"`, `"i/N"`, "shard index i of N total shards"}},
+		{"a/2", []string{`-shard "a/2"`, `index "a" is not an integer`, `"i/N"`}},
+		{"0/x", []string{`-shard "0/x"`, `count "x" is not an integer`, `"i/N"`}},
+		{"0/0", []string{`-shard "0/0"`, "count must be at least 1"}},
+		{"0/-2", []string{`-shard "0/-2"`, "count must be at least 1"}},
+		{"2/2", []string{`-shard "2/2"`, "index 2 outside 0..1", "0 ≤ i < N"}},
+		{"-1/2", []string{`-shard "-1/2"`, "index -1 outside 0..1"}},
+	}
+	for _, tt := range cases {
+		_, err := ParseShard(tt.in)
+		if err == nil {
+			t.Errorf("ParseShard(%q) accepted", tt.in)
+			continue
+		}
+		for _, frag := range tt.want {
+			if !strings.Contains(err.Error(), frag) {
+				t.Errorf("ParseShard(%q) error %q missing %q", tt.in, err, frag)
+			}
+		}
 	}
 }
 

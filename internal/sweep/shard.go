@@ -79,25 +79,30 @@ func (sh Shard) String() string {
 }
 
 // ParseShard parses the CLI shard form "i/N" (e.g. "0/2" for the first
-// of two shards).
+// of two shards). Errors name the -shard flag both CLIs expose and say
+// which part of the value is wrong, so a typo on one host of a
+// multi-host sweep is diagnosable from the message alone.
 func ParseShard(s string) (Shard, error) {
 	idx, count, ok := strings.Cut(strings.TrimSpace(s), "/")
 	if !ok {
-		return Shard{}, fmt.Errorf("sweep: bad shard %q (want \"i/N\", e.g. \"0/2\")", s)
+		return Shard{}, fmt.Errorf("-shard %q: want \"i/N\" — shard index i of N total shards, e.g. \"0/2\"", s)
 	}
-	i, err1 := strconv.Atoi(strings.TrimSpace(idx))
-	n, err2 := strconv.Atoi(strings.TrimSpace(count))
-	if err1 != nil || err2 != nil {
-		return Shard{}, fmt.Errorf("sweep: bad shard %q (want \"i/N\", e.g. \"0/2\")", s)
+	i, err := strconv.Atoi(strings.TrimSpace(idx))
+	if err != nil {
+		return Shard{}, fmt.Errorf("-shard %q: index %q is not an integer (want \"i/N\", e.g. \"0/2\")", s, strings.TrimSpace(idx))
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(count))
+	if err != nil {
+		return Shard{}, fmt.Errorf("-shard %q: shard count %q is not an integer (want \"i/N\", e.g. \"0/2\")", s, strings.TrimSpace(count))
 	}
 	sh := Shard{Index: i, Count: n}
 	// An explicit "0/0" is a request for zero shards, not the unsharded
 	// zero value — reject it rather than silently running everything.
 	if sh.Count < 1 {
-		return Shard{}, fmt.Errorf("sweep: shard count %d < 1", sh.Count)
+		return Shard{}, fmt.Errorf("-shard %q: shard count must be at least 1, got %d", s, sh.Count)
 	}
-	if err := sh.validate(); err != nil {
-		return Shard{}, err
+	if sh.Index < 0 || sh.Index >= sh.Count {
+		return Shard{}, fmt.Errorf("-shard %q: index %d outside 0..%d (want 0 ≤ i < N)", s, sh.Index, sh.Count-1)
 	}
 	return sh, nil
 }

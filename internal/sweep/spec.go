@@ -40,6 +40,7 @@ package sweep
 import (
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/manager"
 	"repro/internal/metrics"
@@ -314,6 +315,12 @@ func (s *Spec) Expand() ([]Scenario, error) {
 // Result is one executed scenario.
 type Result struct {
 	Scenario Scenario
+	// Elapsed is the measured wall time of simulating this scenario's own
+	// run (excluding the shared ideal baseline and design-time phase, and
+	// zero when the result was served from a store). The executor persists
+	// it with store entries so warm re-runs can dispatch on measured cost
+	// instead of the static heuristic; it never reaches a report.
+	Elapsed time.Duration
 	// Run is the raw simulation outcome.
 	Run *manager.Result
 	// Ideal is the shared zero-latency baseline for the scenario's
