@@ -15,10 +15,11 @@
 //
 // A sweep too large for one machine splits across hosts sharing a store.
 // The self-healing way is the coordinator — every host runs the same
-// command and the pool divides the work by leasing shards:
+// command and the pool divides the work by leasing shards; the merge can
+// run anywhere, even before the workers, with -watch:
 //
 //	every host:  rtrrepro -store /shared/store -coord /shared/coord -coord-shards 16
-//	any:         rtrrepro -store /shared/store -merge-report > report.txt
+//	any host:    rtrrepro -store /shared/store -coord /shared/coord -merge-report -watch > report.txt
 //
 // Each worker claims the next unleased shard, heartbeats while it
 // populates the store, marks the shard done and claims another until
@@ -28,6 +29,13 @@
 // only what the dead worker left unfinished re-simulates).
 // -coord-workers N runs N claim loops inside one process;
 // -coord-status prints the per-shard state without running anything.
+//
+// The watch merge renders each report row the moment the pool stores its
+// scenarios, printing per-shard progress to stderr, and uses the same
+// lease TTL for liveness: a pool whose newest heartbeat or completion is
+// older than the TTL is declared dead and the merge errors instead of
+// waiting forever. Without -watch, -merge-report next to -coord checks
+// the pool has drained and refuses with its per-shard tally otherwise.
 //
 // Manual sharding remains for fixed CI matrices: -shard i/N runs every
 // grid experiment's scenarios whose spec index ≡ i (mod N) into the
@@ -77,6 +85,7 @@ func main() {
 		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
 		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
 		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
+		watch        = flag.Bool("watch", false, "with -coord and -merge-report: block until the pool drains, rendering each report row the moment its scenarios are stored (per-shard progress on stderr); a pool dead past its lease TTL errors instead of hanging")
 	)
 	flag.Parse()
 
@@ -128,39 +137,61 @@ func main() {
 		fatal(err)
 	}
 
+	if *watch && (*coordDir == "" || !*merge) {
+		fatal(fmt.Errorf("-watch needs both -coord DIR and -merge-report: it renders from the store while the pool populates it"))
+	}
+	var poolWatch *coord.PoolWatch
 	if *coordDir != "" {
-		if *shardStr != "" || *merge {
-			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard/-merge-report (merge separately once the pool drains)"))
+		if *shardStr != "" {
+			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard"))
 		}
 		if store == nil {
 			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
 		}
-		c, err := coord.Open(coord.Config{
+		cfg := coord.Config{
 			Dir: *coordDir, Shards: *coordShards,
 			LeaseTTL: *leaseTTL, Heartbeat: *heartbeat,
 			Fingerprint: coordFingerprint(opt, selected),
-		})
-		if errors.Is(err, coord.ErrUninitialised) {
-			fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
 		}
-		if err != nil {
-			fatal(err)
-		}
-		stats, err := c.RunWorkers(*coordWorkers, func(r coord.ShardRun) error {
-			sh := sweep.Shard{Index: r.Shard, Count: r.Count}
-			st, err := experiments.Populate(opt, selected, sh)
-			if err != nil {
-				return err
+		if !*merge {
+			c, err := coord.Open(cfg)
+			if errors.Is(err, coord.ErrUninitialised) {
+				fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
 			}
-			fmt.Fprintf(os.Stderr, "coord worker %s: %s (attempt %d)\n", c.Owner(), shardDigest(sh, st), r.Attempt)
-			return nil
-		})
+			if err != nil {
+				fatal(err)
+			}
+			stats, err := c.RunWorkers(*coordWorkers, func(r coord.ShardRun) error {
+				sh := sweep.Shard{Index: r.Shard, Count: r.Count}
+				st, err := experiments.Populate(opt, selected, sh)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(os.Stderr, "coord worker %s: %s (attempt %d)\n", c.Owner(), shardDigest(sh, st), r.Attempt)
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
+			fmt.Fprintln(os.Stderr, store.SummaryLine())
+			return
+		}
+		// Coordinator-aware merge: consult the pool before rendering from
+		// the store. Without -watch a pool that has not drained is an
+		// immediate, pointed error; with -watch the suite renders while
+		// the pool populates, each row the moment its scenarios land, and
+		// a pool dead past its lease TTL fails the merge instead of
+		// hanging it.
+		_, pw, poll, err := coord.MergeGate(cfg, *watch, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
-		fmt.Fprintln(os.Stderr, store.SummaryLine())
-		return
+		if pw != nil {
+			poolWatch = pw
+			defer poolWatch.Stop()
+			opt.StoreWait = &sweep.StoreWait{Poll: poll, Done: poolWatch.Done}
+		}
 	}
 	if *shardStr != "" {
 		shard, err := sweep.ParseShard(*shardStr)
@@ -190,6 +221,15 @@ func main() {
 	for _, e := range selected {
 		if err := e.Run(opt, os.Stdout); err != nil {
 			fatal(fmt.Errorf("%s: %w", e.ID, err))
+		}
+	}
+	if poolWatch != nil {
+		// -watch blocks until the pool drains, not merely until the
+		// report is complete: the last done records can trail the store
+		// writes the report consumed, and a worker that dies right at the
+		// end should still be reported.
+		if _, err := poolWatch.Wait(); err != nil {
+			fatal(err)
 		}
 	}
 	if store != nil {

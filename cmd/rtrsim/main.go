@@ -22,21 +22,26 @@
 //
 // A grid too large for one machine splits across hosts sharing a store.
 // With -coord every host runs the same command and a self-healing pool
-// leases the shards:
+// leases the shards; the merge can run anywhere, even first, with
+// -watch:
 //
 //	every host:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -coord /shared/coord -coord-shards 8
-//	any:         rtrsim -policy lru,lfd -rus 4-10 -store /shared -merge-report
+//	any host:    rtrsim -policy lru,lfd -rus 4-10 -store /shared -coord /shared/coord -merge-report -watch
 //
 // Workers claim shards, heartbeat while populating the store, and
 // re-lease any shard whose worker stops heartbeating for -lease-ttl
 // (idempotent: the store dedupes by config hash). -coord-workers runs
 // several claim loops in one process; -coord-status prints the pool
-// state. Manual -shard i/N remains for fixed matrices: it simulates only
-// the scenarios whose spec index ≡ i (mod N) into the store and prints
-// no table (the per-shard digest — scenarios ran, skipped by other
-// shards, store hits/misses — goes to stderr); -merge-report renders the
-// full comparison table purely from the store, failing on any scenario a
-// shard never populated.
+// state. The watch merge prints each table row the moment its scenario
+// is stored, reports per-shard progress on stderr, blocks until the
+// pool drains, and errors — using the same lease TTL — if the pool's
+// workers die; without -watch, -merge-report next to -coord refuses a
+// pool that has not drained. Manual -shard i/N remains for fixed
+// matrices: it simulates only the scenarios whose spec index ≡ i (mod N)
+// into the store and prints no table (the per-shard digest — scenarios
+// ran, skipped by other shards, store hits/misses — goes to stderr);
+// -merge-report renders the full comparison table purely from the store,
+// failing on any scenario a shard never populated.
 package main
 
 import (
@@ -87,6 +92,7 @@ func main() {
 		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
 		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
 		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
+		watch        = flag.Bool("watch", false, "with -coord and -merge-report: block until the pool drains, printing each sweep row the moment its scenario is stored (per-shard progress on stderr); a pool dead past its lease TTL errors instead of hanging")
 	)
 	flag.Parse()
 
@@ -147,9 +153,12 @@ func main() {
 	if *merge && store == nil {
 		fatal(fmt.Errorf("-merge-report needs a result store (-store DIR or $RTR_STORE)"))
 	}
+	if *watch && (*coordDir == "" || !*merge) {
+		fatal(fmt.Errorf("-watch needs both -coord DIR and -merge-report: it renders from the store while the pool populates it"))
+	}
 	if *coordDir != "" {
-		if *shardStr != "" || *merge {
-			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard/-merge-report (merge separately once the pool drains)"))
+		if *shardStr != "" {
+			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard"))
 		}
 		if store == nil {
 			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
@@ -181,7 +190,7 @@ func main() {
 		runSweep(*wl, seq, sweepOptions{
 			units: units, policies: policies, latency: simtime.FromMs(*latency),
 			prefetch: *prefetch, parallel: *parallel,
-			shard: shard, populate: *shardStr != "", merge: *merge,
+			shard: shard, populate: *shardStr != "", merge: *merge, watch: *watch,
 			coord: coordOpt,
 		}, store)
 	}
@@ -291,8 +300,12 @@ type sweepOptions struct {
 	shard    sweep.Shard
 	populate bool
 	merge    bool
+	// watch (with coord and merge): wait for the pool, printing each row
+	// the moment its scenario is stored.
+	watch bool
 	// coord: claim shards from a self-healing pool instead of running a
-	// fixed -shard slice; no table either.
+	// fixed -shard slice (no table), or — with merge — consult the pool
+	// before/while rendering from the store.
 	coord *coordOptions
 }
 
@@ -305,9 +318,11 @@ type coordOptions struct {
 }
 
 // runSweep executes the policies × unit-counts grid on the streaming
-// executor and prints one comparison row per scenario, in spec order.
-// Results stream through a SummaryCollector — the sweep never holds more
-// than O(workers) raw runs however many scenarios the flags expand to.
+// executor and prints one comparison row per scenario, in spec order,
+// the moment the scenario lands — the sweep holds O(workers) raw runs
+// and the renderer O(1) rows however many scenarios the flags expand to.
+// In a watch-mode merge the rows appear as the coordinator pool stores
+// their scenarios.
 func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultstore.Store) {
 	if o.prefetch {
 		for i := range o.policies {
@@ -320,40 +335,56 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 		Latencies: []simtime.Time{o.latency},
 		Policies:  o.policies,
 	}
+	var storeWait *sweep.StoreWait
+	var poolWatch *coord.PoolWatch
 	if o.coord != nil {
-		// A pool populate is only useful if the grid can be persisted —
-		// an uncacheable spec would simulate every slice and store
-		// nothing, failing only at merge time.
+		// A pool populate (or a merge against one) is only useful if the
+		// grid can be persisted — an uncacheable spec would simulate
+		// every slice and store nothing, failing only at merge time.
 		if err := spec.Cacheable(); err != nil {
 			fatal(fmt.Errorf("-coord: %w", err))
 		}
-		c, err := coord.Open(coord.Config{
+		cfg := coord.Config{
 			Dir: o.coord.dir, Shards: o.coord.shards,
 			LeaseTTL: o.coord.ttl, Heartbeat: o.coord.heartbeat,
 			Fingerprint: sweepFingerprint(wl, &spec),
-		})
-		if errors.Is(err, coord.ErrUninitialised) {
-			fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
 		}
-		if err != nil {
-			fatal(err)
-		}
-		stats, err := c.RunWorkers(o.coord.workers, func(r coord.ShardRun) error {
-			sp := spec
-			sp.Shard = sweep.Shard{Index: r.Shard, Count: r.Count}
-			if err := (sweep.Executor{Workers: o.parallel, Store: store}).Collect(sp, sweep.Discard); err != nil {
-				return err
+		if !o.merge {
+			c, err := coord.Open(cfg)
+			if errors.Is(err, coord.ErrUninitialised) {
+				fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
 			}
-			n := sp.Size()
-			fmt.Fprintf(os.Stderr, "coord worker %s: shard %s: ran %d of %d scenarios (%d skipped by other shards) (attempt %d)\n",
-				c.Owner(), sp.Shard, sp.Shard.SizeOf(n), n, n-sp.Shard.SizeOf(n), r.Attempt)
-			return nil
-		})
+			if err != nil {
+				fatal(err)
+			}
+			stats, err := c.RunWorkers(o.coord.workers, func(r coord.ShardRun) error {
+				sp := spec
+				sp.Shard = sweep.Shard{Index: r.Shard, Count: r.Count}
+				if err := (sweep.Executor{Workers: o.parallel, Store: store}).Collect(sp, sweep.Discard); err != nil {
+					return err
+				}
+				n := sp.Size()
+				fmt.Fprintf(os.Stderr, "coord worker %s: shard %s: ran %d of %d scenarios (%d skipped by other shards) (attempt %d)\n",
+					c.Owner(), sp.Shard, sp.Shard.SizeOf(n), n, n-sp.Shard.SizeOf(n), r.Attempt)
+				return nil
+			})
+			if err != nil {
+				fatal(err)
+			}
+			fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
+			return
+		}
+		// Coordinator-aware merge: refuse a pool that has not drained, or
+		// — with -watch — render while it drains and error if it dies.
+		_, pw, poll, err := coord.MergeGate(cfg, o.watch, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
-		return
+		if pw != nil {
+			poolWatch = pw
+			defer poolWatch.Stop()
+			storeWait = &sweep.StoreWait{Poll: poll, Done: poolWatch.Done}
+		}
 	}
 	if o.populate {
 		spec.Shard = o.shard
@@ -365,21 +396,32 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 			o.shard, o.shard.SizeOf(n), n, n-o.shard.SizeOf(n))
 		return
 	}
-	ss, err := sweep.Executor{Workers: o.parallel, Store: store, RequireStored: o.merge}.RunSummaries(spec)
-	if err != nil {
-		fatal(err)
-	}
 	fmt.Printf("workload        %s (%d applications), latency %v, %d scenarios\n",
 		wl, len(seq), o.latency, spec.Size())
 	fmt.Printf("%-30s %4s %10s %14s %12s %8s %8s\n",
 		"policy", "RUs", "reuse %", "makespan", "remaining %", "loads", "skips")
-	for ri, r := range o.units {
-		for pi := range o.policies {
-			row := ss.At(0, ri, 0, pi)
+	rr := &sweep.RowRenderer{
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			row := rows[0]
 			s := row.Summary
 			fmt.Printf("%-30s %4d %10.2f %14v %12.2f %8d %8d\n",
-				s.PolicyName, r, s.ReuseRate(), s.Makespan, s.RemainingOverheadPct(),
+				s.PolicyName, row.Scenario.RUs, s.ReuseRate(), s.Makespan, s.RemainingOverheadPct(),
 				s.Loads, row.Counters.Skips)
+			return nil
+		},
+	}
+	ex := sweep.Executor{Workers: o.parallel, Store: store, RequireStored: o.merge, StoreWait: storeWait}
+	if err := ex.Collect(spec, rr); err != nil {
+		fatal(err)
+	}
+	if err := rr.Close(); err != nil {
+		fatal(err)
+	}
+	if poolWatch != nil {
+		// -watch blocks until the pool drains, not merely until the table
+		// is complete (the last done records can trail the store writes).
+		if _, err := poolWatch.Wait(); err != nil {
+			fatal(err)
 		}
 	}
 }

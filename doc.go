@@ -24,11 +24,19 @@
 //     process-wide memoized table cache keyed by (template, RUs, latency).
 //   - internal/sweep — the parallel scenario executor: declarative
 //     policy × RUs × latency × workload grids run on a bounded worker
-//     pool with deterministic, spec-order results.
+//     pool with deterministic, spec-order results streamed through
+//     collectors and row renderers.
+//   - internal/resultstore — the persisted, content-addressed store of
+//     scenario results (canonical config-hash keys, atomic writes,
+//     measured timings for dispatch).
+//   - internal/coord — the file-based shard coordinator: self-healing
+//     multi-host pools with leases, TTL expiry and watch/drain verdicts.
 //   - internal/experiments — regenerates every table and figure, each
-//     grid experiment as one sweep Spec.
+//     grid experiment as one sweep Spec rendered row by row.
 //
 // The benchmarks in bench_test.go regenerate the paper's measured tables;
-// cmd/rtrrepro prints the full evaluation. See README.md, DESIGN.md and
+// cmd/rtrrepro prints the full evaluation. ARCHITECTURE.md walks the
+// whole pipeline (Spec → Executor/Collector → resultstore → coord →
+// merge/watch render) end to end; see also README.md, DESIGN.md and
 // EXPERIMENTS.md.
 package taskreuse

@@ -26,12 +26,25 @@
 //
 // Layout under the coordinator directory:
 //
-//	coordinator.json       shard count + sweep fingerprint (O_EXCL by the
-//	                       first worker; later workers verify both)
+//	coordinator.json       shard count + lease TTL + sweep fingerprint
+//	                       (O_EXCL by the first worker; later workers
+//	                       verify or adopt all three)
 //	shard-0007/
 //	  gen-0001.claim       generation claim marker, O_EXCL create
 //	  lease.json           current owner + heartbeat (atomic rename)
 //	  done.json            completion record (owner, attempts, when)
+//
+// The same evidence drives the merge side of the pipeline: a watch-mode
+// merge (the CLIs' `-coord … -merge-report -watch`) renders the report
+// while the pool populates the store, and decides "finished?" from the
+// done records and "still alive?" from the newest heartbeat, claim or
+// completion timestamp across the pool — older than the lease TTL means
+// no worker can still be heartbeating and the merge errors instead of
+// polling forever (CheckDrained/Drained). PoolWatch packages the polling
+// loop: background progress lines per shard transition plus a cached
+// drain verdict for the sweep executor's workers, final once drained or
+// dead. See ARCHITECTURE.md for how coordinator, result store and the
+// streaming renderers compose into one unsupervised pipeline.
 package coord
 
 import (
@@ -243,6 +256,14 @@ func (c *Coordinator) Owner() string { return c.owner }
 
 // LeaseTTL returns the pool's lease expiry.
 func (c *Coordinator) LeaseTTL() time.Duration { return c.ttl }
+
+// HeartbeatInterval returns the refresh/poll interval this worker uses
+// (Config.Heartbeat, or a quarter of the lease TTL) — also the natural
+// cadence for watchers polling the pool's state.
+func (c *Coordinator) HeartbeatInterval() time.Duration { return c.heartbeat }
+
+// Dir returns the coordinator state directory.
+func (c *Coordinator) Dir() string { return c.dir }
 
 func (c *Coordinator) shardDir(shard int) string {
 	return filepath.Join(c.dir, fmt.Sprintf("shard-%04d", shard))
@@ -475,6 +496,12 @@ type ShardStatus struct {
 	// HeartbeatAge is the age of the newest proof of life; meaningful for
 	// leased and expired-pending shards.
 	HeartbeatAge time.Duration
+	// LastActivity is the shard's newest proof of life as an absolute
+	// time: the completion time for done shards, the newest heartbeat (or
+	// claim) timestamp for claimed ones, zero for never-claimed shards.
+	// Watch-mode merges aggregate it across the pool to tell a slow pool
+	// from a dead one (see CheckDrained).
+	LastActivity time.Time
 }
 
 // Status is a point-in-time snapshot of every shard.
@@ -535,9 +562,19 @@ func (c *Coordinator) Status() (Status, error) {
 			if ins.topGen > row.Attempts {
 				row.Attempts = ins.topGen
 			}
+			// Same clock-skew rule as inspect applies to heartbeats: a
+			// completion stamped further in the future than one TTL can
+			// only be a broken clock, and letting it stand would keep an
+			// otherwise-dead pool looking alive for the whole skew. Zero
+			// evidence errs toward the dead verdict — an error the
+			// operator sees, never a hang.
+			if la := time.Unix(0, ins.done.FinishedNS); !la.After(now.Add(c.ttl)) {
+				row.LastActivity = la
+			}
 		case ins.topGen > 0:
 			row.Attempts = ins.topGen
 			row.HeartbeatAge = now.Sub(ins.lastBeat)
+			row.LastActivity = ins.lastBeat
 			if row.HeartbeatAge < c.ttl {
 				row.State = StateLeased
 			} else {

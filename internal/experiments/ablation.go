@@ -21,12 +21,13 @@ const ablationRUs = 4
 
 // ablationSpec assembles the single sweep Spec behind ablations 1–3:
 // both window variants across every window, then the classic baselines,
-// all over one shared ideal baseline. baseOff is the policy-axis offset
-// of the first baseline series.
-func ablationSpec(opt Options) (spec sweep.Spec, baselines []sweep.PolicySpec, baseOff int, err error) {
+// all over one shared ideal baseline. The window-major policy order is
+// what the streaming renderer relies on: each variant's windows are
+// contiguous, so a table row completes as one block of spec order.
+func ablationSpec(opt Options) (spec sweep.Spec, baselines []sweep.PolicySpec, err error) {
 	wl, err := opt.sweepWorkload()
 	if err != nil {
-		return sweep.Spec{}, nil, 0, err
+		return sweep.Spec{}, nil, err
 	}
 	var series []sweep.PolicySpec
 	for _, skip := range []bool{false, true} {
@@ -48,7 +49,6 @@ func ablationSpec(opt Options) (spec sweep.Spec, baselines []sweep.PolicySpec, b
 		},
 		lfdSeries(),
 	}
-	baseOff = len(series)
 	series = append(series, baselines...)
 	spec = sweep.Spec{
 		Workloads: []sweep.Workload{wl},
@@ -56,13 +56,13 @@ func ablationSpec(opt Options) (spec sweep.Spec, baselines []sweep.PolicySpec, b
 		Latencies: []simtime.Time{opt.Latency},
 		Policies:  series,
 	}
-	return spec, baselines, baseOff, nil
+	return spec, baselines, nil
 }
 
 // AblationGrids declares the ablation grid for shard populate runs (the
 // timing-based ablation 4 has nothing to persist).
 func AblationGrids(opt Options) ([]sweep.Spec, error) {
-	spec, _, _, err := ablationSpec(opt.normalized())
+	spec, _, err := ablationSpec(opt.normalized())
 	return oneGrid(spec, err)
 }
 
@@ -76,19 +76,22 @@ func AblationGrids(opt Options) ([]sweep.Spec, error) {
 //  3. Extra baselines (FIFO, MRU, Random) — placing the paper's LRU
 //     baseline among other classic policies.
 //
-// All runs use the Fig. 9 workload at R=4 as one streaming sweep Spec.
+// All runs use the Fig. 9 workload at R=4 as one streaming sweep Spec,
+// rendered row by row: the window axis is flattened into the policy axis
+// with each variant's windows contiguous, so every table row of
+// ablations 1+2 is a contiguous block of spec order and prints the
+// moment its last window scenario lands; the baseline scenarios that
+// follow stream as one line each. Only the overhead table's cells are
+// carried across the sweep (O(variants × windows) floats — the second
+// table of one pass, never result rows).
 func Ablation(opt Options, w io.Writer) error {
 	opt = opt.normalized()
-	spec, baselines, baseOff, err := ablationSpec(opt)
+	spec, baselines, err := ablationSpec(opt)
 	if err != nil {
 		return err
 	}
 	windows := ablationWindows
-
-	ss, err := opt.executor().RunSummaries(spec)
-	if err != nil {
-		return err
-	}
+	variantNames := []string{"Local LFD", "Local LFD + Skip Events"}
 
 	section(w, fmt.Sprintf("Ablation 1+2 — Dynamic List window sweep at R=%d (%d apps, seed %d)",
 		ablationRUs, len(spec.Workloads[0].Seq), opt.Seed))
@@ -96,35 +99,59 @@ func Ablation(opt Options, w io.Writer) error {
 	for i, ww := range windows {
 		cols[i] = strconv.Itoa(ww)
 	}
-	reuseTab := metrics.NewTable("reuse rate (%) by window", "variant \\ window", cols...)
-	overTab := metrics.NewTable("remaining overhead (%) by window", "variant \\ window", cols...)
-	for si, skip := range []bool{false, true} {
-		name := "Local LFD"
-		if skip {
-			name += " + Skip Events"
-		}
-		var reuse, over []float64
-		for wi := range windows {
-			s := ss.At(0, 0, 0, si*len(windows)+wi).Summary
-			reuse = append(reuse, s.ReuseRate())
-			over = append(over, s.RemainingOverheadPct())
-		}
-		if err := reuseTab.AddFloatRow(name, reuse...); err != nil {
-			return err
-		}
-		if err := overTab.AddFloatRow(name, over...); err != nil {
-			return err
-		}
-	}
-	fmt.Fprint(w, reuseTab.String())
-	fmt.Fprintln(w)
-	fmt.Fprint(w, overTab.String())
+	reuseTab := metrics.NewStreamTable(w, metrics.StreamTableConfig{
+		Title:     "reuse rate (%) by window",
+		XLabel:    "variant \\ window",
+		RowLabels: variantNames,
+		XValues:   cols,
+	})
 
-	section(w, "Ablation 3 — classic cache policies as additional baselines (R=4)")
-	fmt.Fprintf(w, "%-12s %12s %16s\n", "policy", "reuse (%)", "remaining (%)")
-	for bi, b := range baselines {
-		s := ss.At(0, 0, 0, baseOff+bi).Summary
-		fmt.Fprintf(w, "%-12s %12.2f %16.2f\n", b.Name, s.ReuseRate(), s.RemainingOverheadPct())
+	over := make([][]float64, len(variantNames))
+	baselinesStarted := false
+	rr := &sweep.RowRenderer{
+		// Two window-sweep rows, then one line per baseline policy.
+		Sizes: []int{len(windows), len(windows), 1},
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			if i < len(variantNames) {
+				reuse := make([]float64, len(rows))
+				for wi, row := range rows {
+					reuse[wi] = row.Summary.ReuseRate()
+					over[i] = append(over[i], row.Summary.RemainingOverheadPct())
+				}
+				return reuseTab.FloatRow(variantNames[i], reuse...)
+			}
+			if !baselinesStarted {
+				// The reuse table is complete: flush the overhead table
+				// accumulated alongside it, then open ablation 3.
+				baselinesStarted = true
+				fmt.Fprintln(w)
+				overTab := metrics.NewStreamTable(w, metrics.StreamTableConfig{
+					Title:     "remaining overhead (%) by window",
+					XLabel:    "variant \\ window",
+					RowLabels: variantNames,
+					XValues:   cols,
+				})
+				for vi, name := range variantNames {
+					if err := overTab.FloatRow(name, over[vi]...); err != nil {
+						return err
+					}
+				}
+				section(w, "Ablation 3 — classic cache policies as additional baselines (R=4)")
+				fmt.Fprintf(w, "%-12s %12s %16s\n", "policy", "reuse (%)", "remaining (%)")
+			}
+			s := rows[0].Summary
+			fmt.Fprintf(w, "%-12s %12.2f %16.2f\n", rows[0].Scenario.Policy.Name, s.ReuseRate(), s.RemainingOverheadPct())
+			return nil
+		},
+	}
+	if err := opt.executor().Collect(spec, rr); err != nil {
+		return err
+	}
+	if err := rr.Close(); err != nil {
+		return err
+	}
+	if want := len(variantNames) + len(baselines); rr.Rows() != want {
+		return fmt.Errorf("ablation rendered %d rows, grid declares %d", rr.Rows(), want)
 	}
 
 	section(w, "Ablation 4 — hybrid vs purely run-time technique (abstract's 10× claim)")

@@ -59,6 +59,14 @@ type Options struct {
 	// sharded populate runs (see Populate); uncacheable pieces (traces,
 	// per-task latencies) still run live. Requires Store.
 	RequireStored bool
+	// StoreWait, with RequireStored, is the watch-mode merge: a grid
+	// scenario missing from Store is awaited (polled) instead of failed,
+	// so the suite can start rendering before a coordinator pool has
+	// finished populating the store — each report row prints the moment
+	// its scenarios land. StoreWait.Done decides when waiting further is
+	// pointless (pool drained or dead); see internal/sweep.StoreWait and
+	// coord.(*Coordinator).Drained.
+	StoreWait *sweep.StoreWait
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -119,9 +127,10 @@ func (o Options) sequence() ([]*taskgraph.Graph, error) {
 }
 
 // executor returns the scenario executor the sweep-backed experiments
-// share, honouring the Parallel, Store and RequireStored options.
+// share, honouring the Parallel, Store, RequireStored and StoreWait
+// options.
 func (o Options) executor() sweep.Executor {
-	return sweep.Executor{Workers: o.Parallel, Store: o.Store, RequireStored: o.RequireStored}
+	return sweep.Executor{Workers: o.Parallel, Store: o.Store, RequireStored: o.RequireStored, StoreWait: o.StoreWait}
 }
 
 // sweepWorkload wraps the Fig. 9 inputs as a sweep workload.

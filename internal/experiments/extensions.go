@@ -52,8 +52,11 @@ func SensitivityGrids(opt Options) ([]sweep.Spec, error) {
 // sweeps uniform latencies from 1 to 16 ms and adds a heterogeneous run
 // where each task's latency follows its bitstream size (the equal-sized-
 // units assumption relaxed to "equal regions, differently full
-// bitstreams"). The uniform sweep is a latency-axis Spec; mobility tables
-// are computed once per latency and shared across its scenarios.
+// bitstreams"). The uniform sweep is a latency-axis Spec rendered row by
+// row — the table is oriented "latency \ policy" so each latency's row
+// is a contiguous block of spec order and prints as its policy block
+// lands; mobility tables are computed once per latency and shared across
+// its scenarios. The heterogeneous sweep streams one line per scenario.
 func Sensitivity(opt Options, w io.Writer) error {
 	opt = opt.normalized()
 	spec, err := sensitivitySpec(opt)
@@ -66,26 +69,36 @@ func Sensitivity(opt Options, w io.Writer) error {
 
 	latencies := spec.Latencies
 	series := spec.Policies
-	ss, err := opt.executor().RunSummaries(spec)
-	if err != nil {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	rowLabels := make([]string, len(latencies))
+	for i, l := range latencies {
+		rowLabels[i] = l.String()
+	}
+	tab := metrics.NewStreamTable(w, metrics.StreamTableConfig{
+		Title:     "remaining overhead (%) by uniform latency",
+		XLabel:    "latency \\ policy",
+		RowLabels: rowLabels,
+		XValues:   names,
+	})
+	rr := &sweep.RowRenderer{
+		Sizes: []int{len(series)},
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			vals := make([]float64, len(rows))
+			for pi, row := range rows {
+				vals[pi] = row.Summary.RemainingOverheadPct()
+			}
+			return tab.FloatRow(rowLabels[i], vals...)
+		},
+	}
+	if err := opt.executor().Collect(spec, rr); err != nil {
 		return err
 	}
-
-	cols := make([]string, len(latencies))
-	for i, l := range latencies {
-		cols[i] = l.String()
+	if err := rr.Close(); err != nil {
+		return err
 	}
-	tab := metrics.NewTable("remaining overhead (%) by uniform latency", "policy \\ latency", cols...)
-	for pi, s := range series {
-		var vals []float64
-		for li := range latencies {
-			vals = append(vals, ss.At(0, 0, li, pi).Summary.RemainingOverheadPct())
-		}
-		if err := tab.AddFloatRow(s.Name, vals...); err != nil {
-			return err
-		}
-	}
-	fmt.Fprint(w, tab.String())
 	fmt.Fprintln(w, "\nexpected: the remaining percentage is fairly stable across latencies —")
 	fmt.Fprintln(w, "overheads scale with the latency, and so does the original-overhead baseline.")
 
@@ -101,21 +114,28 @@ func Sensitivity(opt Options, w io.Writer) error {
 		sweep.LocalLFD(1, false),
 		lfdSeries(),
 	}
-	het, err := opt.executor().RunSummaries(sweep.Spec{
+	fmt.Fprintln(w, "\nheterogeneous latencies (bitstream-size derived, mean 4 ms):")
+	hetRR := &sweep.RowRenderer{
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			r := rows[0]
+			fmt.Fprintf(w, "  %-16s reuse %6.2f%%  makespan %v\n",
+				r.Scenario.Policy.Name, r.Counters.ReuseRate(), r.Counters.Makespan)
+			return nil
+		},
+	}
+	err = opt.executor().Collect(sweep.Spec{
 		Workloads:  []sweep.Workload{wl},
 		RUs:        []int{sensitivityRUs},
 		Latencies:  []simtime.Time{0}, // overridden per task by LatencyFor
 		Policies:   hetSeries,
 		LatencyFor: latFor,
 		NoBaseline: true,
-	})
+	}, hetRR)
 	if err != nil {
 		return err
 	}
-	fmt.Fprintln(w, "\nheterogeneous latencies (bitstream-size derived, mean 4 ms):")
-	for pi, s := range hetSeries {
-		c := het.At(0, 0, 0, pi).Counters
-		fmt.Fprintf(w, "  %-16s reuse %6.2f%%  makespan %v\n", s.Name, c.ReuseRate(), c.Makespan)
+	if err := hetRR.Close(); err != nil {
+		return err
 	}
 	fmt.Fprintln(w, "  (reuse ordering matches the uniform-latency runs: the policies rank")
 	fmt.Fprintln(w, "  identically when latencies vary per task)")
@@ -162,7 +182,9 @@ func PrefetchGrids(opt Options) ([]sweep.Spec, error) {
 // reconfiguration circuitry preload the next enqueued graph. The paper's
 // manager stops prefetching at graph boundaries; the extension removes
 // the cold boundary load that dominates the remaining overhead at high
-// contention. The whole (RUs × variants) grid is one streaming sweep.
+// contention. The whole (RUs × variants) grid is one streaming sweep
+// printing one line per scenario the moment it lands — the degenerate
+// (block size 1) case of the row renderer.
 func Prefetch(opt Options, w io.Writer) error {
 	opt = opt.normalized()
 	spec, err := prefetchSpec(opt)
@@ -172,21 +194,22 @@ func Prefetch(opt Options, w io.Writer) error {
 	section(w, fmt.Sprintf("Extension — cross-graph prefetch (%d apps, seed %d, latency %v)",
 		len(spec.Workloads[0].Seq), opt.Seed, opt.Latency))
 
-	series := spec.Policies
-	ss, err := opt.executor().RunSummaries(spec)
-	if err != nil {
-		return err
-	}
-
 	fmt.Fprintf(w, "%-4s %-34s %10s %12s %12s %10s\n",
 		"RUs", "configuration", "reuse %", "overhead", "remaining %", "preloads")
-	for ri, rus := range opt.RUs {
-		for pi, s := range series {
-			r := ss.At(0, ri, 0, pi)
+	rr := &sweep.RowRenderer{
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			r := rows[0]
 			fmt.Fprintf(w, "%-4d %-34s %10.2f %12v %12.2f %10d\n",
-				rus, s.Name, r.Summary.ReuseRate(), r.Summary.Overhead(),
+				r.Scenario.RUs, r.Scenario.Policy.Name, r.Summary.ReuseRate(), r.Summary.Overhead(),
 				r.Summary.RemainingOverheadPct(), r.Counters.Preloads)
-		}
+			return nil
+		},
+	}
+	if err := opt.executor().Collect(spec, rr); err != nil {
+		return err
+	}
+	if err := rr.Close(); err != nil {
+		return err
 	}
 	fmt.Fprintln(w, "\nexpected: greedy prefetch hides nearly every load — only the run's very")
 	fmt.Fprintln(w, "first cold reconfiguration stays exposed — but it evicts configurations")

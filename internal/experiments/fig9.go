@@ -36,12 +36,16 @@ func oneGrid(spec sweep.Spec, err error) ([]sweep.Spec, error) {
 }
 
 // fig9Run executes the shared Fig. 9 protocol as one streaming sweep on
-// the parallel scenario executor. Ideal baselines (one per unit count)
-// and design-time mobility tables are computed once and shared across
-// the grid; results stream through a SummaryCollector, so raw runs are
-// dropped as soon as each scenario's summary is extracted and the sweep
-// holds O(workers) of them however large the grid. metric extracts the
-// plotted quantity from a run summary.
+// the parallel scenario executor and renders it row by row. Ideal
+// baselines (one per unit count) and design-time mobility tables are
+// computed once and shared across the grid; results stream through a
+// RowRenderer, so each unit count's table row prints the moment its
+// policy block lands (policies are the innermost axis — that is why the
+// table is oriented "RUs \ policy") and the renderer never holds more
+// than one row however large the grid. In a watch-mode merge the rows
+// appear as remote shards store their scenarios. metric extracts the
+// plotted quantity from a run summary; the trailing "Avg." row is
+// accumulated from per-policy running sums, O(policies) scalars.
 func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 	metric func(*metrics.Summary) float64, paperAvg map[string]float64) error {
 
@@ -53,28 +57,47 @@ func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 	section(w, fmt.Sprintf("%s — %d apps from {JPEG, MPEG-1, Hough}, seed %d, latency %v",
 		title, len(spec.Workloads[0].Seq), opt.Seed, opt.Latency))
 
-	ss, err := opt.executor().RunSummaries(spec)
-	if err != nil {
+	names := make([]string, len(series))
+	for i, s := range series {
+		names[i] = s.Name
+	}
+	rowLabels := make([]string, 0, len(opt.RUs)+1)
+	for _, r := range opt.RUs {
+		rowLabels = append(rowLabels, strconv.Itoa(r))
+	}
+	rowLabels = append(rowLabels, "Avg.")
+	tab := metrics.NewStreamTable(w, metrics.StreamTableConfig{
+		XLabel:     "RUs \\ policy",
+		RowLabels:  rowLabels,
+		XValues:    names,
+		CaptureCSV: opt.CSV,
+	})
+
+	sums := make([]float64, len(series))
+	rr := &sweep.RowRenderer{
+		Sizes: []int{len(series)},
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			vals := make([]float64, len(rows))
+			for pi, row := range rows {
+				vals[pi] = metric(row.Summary)
+				sums[pi] += vals[pi]
+			}
+			return tab.FloatRow(rowLabels[i], vals...)
+		},
+	}
+	if err := opt.executor().Collect(spec, rr); err != nil {
 		return err
 	}
-
-	cols := make([]string, 0, len(opt.RUs)+1)
-	for _, r := range opt.RUs {
-		cols = append(cols, strconv.Itoa(r))
+	if err := rr.Close(); err != nil {
+		return err
 	}
-	cols = append(cols, "Avg.")
-	tab := metrics.NewTable("", "policy \\ RUs", cols...)
-
-	for pi, s := range series {
-		vals := make([]float64, 0, len(opt.RUs))
-		for ri := range opt.RUs {
-			vals = append(vals, metric(ss.At(0, ri, 0, pi).Summary))
-		}
-		if err := tab.AddFloatRow(s.Name, append(vals, metrics.Mean(vals))...); err != nil {
-			return err
-		}
+	avgs := make([]float64, len(series))
+	for i, s := range sums {
+		avgs[i] = s / float64(len(opt.RUs))
 	}
-	fmt.Fprint(w, tab.String())
+	if err := tab.FloatRow("Avg.", avgs...); err != nil {
+		return err
+	}
 	if opt.CSV {
 		fmt.Fprintln(w, "\ncsv:")
 		fmt.Fprint(w, tab.CSV())

@@ -3,8 +3,8 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"math"
 
-	"repro/internal/metrics"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
 )
@@ -56,6 +56,13 @@ func VarianceGrids(opt Options) ([]sweep.Spec, error) {
 // reports mean ± standard deviation per policy. The paper evaluates a
 // single 500-application sequence; this experiment shows its conclusions
 // are not an artefact of one draw.
+//
+// The report is an aggregate, so nothing prints until the sweep ends —
+// but it still collects through the row renderer: each seed's policy
+// block folds into O(policies) running accumulators (count, sum, sum of
+// squares, min, max, and the per-seed headline comparison) the moment it
+// lands, retaining no rows at all. A watch-mode merge therefore consumes
+// the seeds as remote shards store them.
 func Variance(opt Options, w io.Writer) error {
 	opt = opt.normalized()
 	section(w, fmt.Sprintf("Extension — seed robustness of Fig. 9b at R=%d (%d apps × %d seeds)",
@@ -65,41 +72,68 @@ func Variance(opt Options, w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ss, err := opt.executor().RunSummaries(spec)
-	if err != nil {
+	series := spec.Policies
+	idx := func(name string) int {
+		for i, s := range series {
+			if s.Name == name {
+				return i
+			}
+		}
+		return -1
+	}
+	skipIdx, lfdIdx := idx("Local LFD (1) + Skip Events"), idx("LFD")
+	if skipIdx < 0 || lfdIdx < 0 {
+		return fmt.Errorf("variance: headline series missing from the policy axis")
+	}
+
+	type acc struct {
+		n          int
+		sum, sumsq float64
+		min, max   float64
+	}
+	accs := make([]acc, len(series))
+	wins := 0
+	rr := &sweep.RowRenderer{
+		Sizes: []int{len(series)},
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			for pi, row := range rows {
+				v := row.Counters.ReuseRate()
+				a := &accs[pi]
+				if a.n == 0 || v < a.min {
+					a.min = v
+				}
+				if a.n == 0 || v > a.max {
+					a.max = v
+				}
+				a.n++
+				a.sum += v
+				a.sumsq += v * v
+			}
+			// The headline claim must hold on every seed, not just on
+			// average.
+			if rows[skipIdx].Counters.ReuseRate() > rows[lfdIdx].Counters.ReuseRate() {
+				wins++
+			}
+			return nil
+		},
+	}
+	if err := opt.executor().Collect(spec, rr); err != nil {
 		return err
 	}
-	series := spec.Policies
-
-	rates := make(map[string][]float64, len(series))
-	for wi := range spec.Workloads {
-		for pi, sr := range series {
-			rates[sr.Name] = append(rates[sr.Name], ss.At(wi, 0, 0, pi).Counters.ReuseRate())
-		}
+	if err := rr.Close(); err != nil {
+		return err
 	}
 
 	fmt.Fprintf(w, "%-30s %12s %10s %10s %10s\n", "policy", "mean reuse %", "stddev", "min", "max")
-	for _, sr := range series {
-		vs := rates[sr.Name]
-		lo, hi := vs[0], vs[0]
-		for _, v := range vs {
-			if v < lo {
-				lo = v
-			}
-			if v > hi {
-				hi = v
-			}
+	for pi, sr := range series {
+		a := accs[pi]
+		mean := a.sum / float64(a.n)
+		variance := a.sumsq/float64(a.n) - mean*mean
+		if variance < 0 {
+			variance = 0 // float fuzz on near-constant series
 		}
 		fmt.Fprintf(w, "%-30s %12.2f %10.2f %10.2f %10.2f\n",
-			sr.Name, metrics.Mean(vs), metrics.Stddev(vs), lo, hi)
-	}
-
-	// The headline claim must hold on every seed, not just on average.
-	wins := 0
-	for i := range rates["LFD"] {
-		if rates["Local LFD (1) + Skip Events"][i] > rates["LFD"][i] {
-			wins++
-		}
+			sr.Name, mean, math.Sqrt(variance), a.min, a.max)
 	}
 	fmt.Fprintf(w, "\nLocal LFD (1) + Skip Events beat clairvoyant LFD on %d of %d seeds\n", wins, varianceSeeds)
 	return nil

@@ -1,0 +1,97 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamTableLayoutFixedUpFront: the whole layout — label column
+// sized by the declared row labels, value columns by header vs the
+// MinCell floor — is decided before any data exists, and rows render
+// incrementally with the header already on the writer.
+func TestStreamTableLayoutFixedUpFront(t *testing.T) {
+	var b strings.Builder
+	tab := NewStreamTable(&b, StreamTableConfig{
+		Title:     "reuse rate (%)",
+		XLabel:    "RUs \\ policy",
+		RowLabels: []string{"4", "10", "Avg."},
+		XValues:   []string{"LRU", "Local LFD (1)"},
+	})
+	headerOnly := b.String()
+	if !strings.Contains(headerOnly, "reuse rate (%)\n") || !strings.Contains(headerOnly, "RUs \\ policy") {
+		t.Fatalf("header not written at construction:\n%s", headerOnly)
+	}
+	if err := tab.FloatRow("4", 21.98, 38.95); err != nil {
+		t.Fatal(err)
+	}
+	afterOne := b.String()
+	if !strings.HasPrefix(afterOne, headerOnly) || !strings.Contains(afterOne, "21.98") {
+		t.Fatalf("first row not streamed:\n%s", afterOne)
+	}
+	if err := tab.FloatRow("10", 31.19, 45.93); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.FloatRow("Avg.", 26.58, 42.44); err != nil {
+		t.Fatal(err)
+	}
+
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 6 { // title, header, separator, 3 rows
+		t.Fatalf("rendered %d lines, want 6:\n%s", len(lines), b.String())
+	}
+	// Every post-title line is identically wide: the layout never moved
+	// as rows landed.
+	for _, l := range lines[2:] {
+		if len(l) != len(lines[1]) {
+			t.Errorf("line %q is %d wide, header is %d — layout shifted", l, len(l), len(lines[1]))
+		}
+	}
+	// The "LRU" column floors at MinCell (6) even though the header is
+	// shorter; "Local LFD (1)" uses its header width.
+	if !strings.Contains(lines[1], "LRU     Local LFD (1)") {
+		t.Errorf("column widths off: %q", lines[1])
+	}
+}
+
+// TestStreamTableRowErrors: a row with the wrong arity is refused.
+func TestStreamTableRowErrors(t *testing.T) {
+	tab := NewStreamTable(&strings.Builder{}, StreamTableConfig{
+		XLabel: "x", XValues: []string{"a", "b"},
+	})
+	if err := tab.Row("r", "1"); err == nil {
+		t.Error("short row accepted")
+	}
+	if err := tab.Row("r", "1", "2", "3"); err == nil {
+		t.Error("long row accepted")
+	}
+	if err := tab.Row("r", "1", "2"); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStreamTableCSVCapture: CSV accumulates exactly the rows written,
+// header first, and stays empty without CaptureCSV.
+func TestStreamTableCSVCapture(t *testing.T) {
+	var b strings.Builder
+	tab := NewStreamTable(&b, StreamTableConfig{
+		XLabel: "RUs \\ policy", XValues: []string{"LRU", "LFD"}, CaptureCSV: true,
+	})
+	if err := tab.FloatRow("4", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Row("5", "3.00", "4.00"); err != nil {
+		t.Fatal(err)
+	}
+	want := "RUs \\ policy,LRU,LFD\n4,1.00,2.00\n5,3.00,4.00\n"
+	if got := tab.CSV(); got != want {
+		t.Errorf("CSV\n got %q\nwant %q", got, want)
+	}
+
+	plain := NewStreamTable(&strings.Builder{}, StreamTableConfig{XLabel: "x", XValues: []string{"a"}})
+	if err := plain.FloatRow("r", 1); err != nil {
+		t.Fatal(err)
+	}
+	if plain.CSV() != "" {
+		t.Error("CSV captured without CaptureCSV")
+	}
+}

@@ -14,13 +14,29 @@
 // Layout: DIR/objects/<k0k1>/<key>.json, one JSON Entry per scenario,
 // fanned out on the first two hex digits of the key. Writes go through a
 // temp file plus rename, so concurrent writers (including separate
-// processes sharing one store directory) never expose a torn entry.
+// processes sharing one store directory over any filesystem that renames
+// atomically) never expose a torn entry — which is what makes the store
+// the merge substrate for sharded multi-host sweeps.
 //
 // Invalidation: every entry records the SchemaVersion it was written
-// under. A version bump makes old entries unreadable (Get treats them as
-// misses — they can never poison a report) and GC deletes them, along
-// with entries that fail to decode or whose recorded key does not match
-// their filename.
+// under — inside the entry, deliberately not in the key (since schema
+// v2). A version bump makes old entries unservable (Get treats them as
+// misses — they can never poison a report) without moving them, so
+// re-simulation overwrites them in place and GC deletes whatever
+// remains, along with entries that fail to decode or whose recorded key
+// does not match their filename.
+//
+// Entries additionally record the measured wall time of their simulation
+// (elapsed_ns, schema v2). It is dispatch steering, never part of the
+// result: ElapsedHint serves it across schema versions so even the full
+// re-run after a bump dispatches on real measurements, and reports never
+// see it.
+//
+// Three lookups with three accounting rules: Get serves a full entry and
+// counts a hit or a miss; Probe serves identically but counts only the
+// hit — it is what watch-mode merges poll while remote shards are still
+// populating, where "not here yet" is not a miss; ElapsedHint reads only
+// the timing, valid under any schema, and counts nothing.
 package resultstore
 
 import (
@@ -105,23 +121,46 @@ func (s *Store) path(key string) (string, error) {
 // re-simulation, it does not fail a sweep. The returned Entry is owned by
 // the caller.
 func (s *Store) Get(key string) (*Entry, bool) {
+	e, ok := s.get(key)
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e, true
+}
+
+// Probe is Get for pollers: a present, servable entry is decoded and
+// counted as a hit exactly like Get, but an absent (or unservable) one
+// counts nothing. Watch-mode merges poll it while remote shards are
+// still populating the store — repeatedly observing "not here yet" is
+// not a miss, and the serve that eventually follows is the scenario's
+// only counted lookup, so a watch merge still digests 100% hits with
+// one file read per poll.
+func (s *Store) Probe(key string) (*Entry, bool) {
+	e, ok := s.get(key)
+	if !ok {
+		return nil, false
+	}
+	s.hits.Add(1)
+	return e, true
+}
+
+// get decodes a servable entry, counting nothing.
+func (s *Store) get(key string) (*Entry, bool) {
 	p, err := s.path(key)
 	if err != nil {
-		s.misses.Add(1)
 		return nil, false
 	}
 	data, err := os.ReadFile(p)
 	if err != nil {
-		s.misses.Add(1)
 		return nil, false
 	}
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil ||
 		e.Schema != SchemaVersion || e.Key != key || e.Run == nil {
-		s.misses.Add(1)
 		return nil, false
 	}
-	s.hits.Add(1)
 	return &e, true
 }
 

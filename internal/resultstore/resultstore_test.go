@@ -246,6 +246,59 @@ func TestRunRecordRoundTrip(t *testing.T) {
 // configuration; only servability is schema-gated), never counts toward
 // the hit/miss stats, and rejects anything that could misattribute a
 // timing — a missing entry, a zero/absent measurement, a key mismatch.
+// TestProbeMatchesGetServability: Probe must serve exactly what Get
+// serves — while counting hits only, never misses, the property that
+// keeps a watch merge's polling invisible in the store digest.
+func TestProbeMatchesGetServability(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey(4)
+	if _, ok := s.Probe(key); ok {
+		t.Error("Probe served from an empty store")
+	}
+	if _, ok := s.Probe("not-a-key"); ok {
+		t.Error("Probe served a malformed key")
+	}
+	if err := s.Put(key, sampleEntry()); err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := s.Probe(key)
+	if !ok || ent.Run == nil || ent.Scenario != sampleEntry().Scenario {
+		t.Errorf("Probe of a fresh entry = (%+v, %v), want the full entry", ent, ok)
+	}
+
+	// A stale-schema or run-less rewrite is unservable for both.
+	p := filepath.Join(dir, "objects", key[:2], key+".json")
+	for name, corrupt := range map[string]func(e *Entry){
+		"stale schema": func(e *Entry) { e.Schema = SchemaVersion + 1 },
+		"missing run":  func(e *Entry) { e.Run = nil },
+	} {
+		e := sampleEntry()
+		e.Schema, e.Key = SchemaVersion, key
+		corrupt(e)
+		data, _ := json.Marshal(e)
+		if err := os.WriteFile(p, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Probe(key); ok {
+			t.Errorf("%s: Probe served where Get would miss", name)
+		}
+		if _, ok := s.Get(key); ok {
+			t.Errorf("%s: Get served it after all — Probe and Get disagree", name)
+		}
+	}
+
+	// Accounting: the one successful Probe is a hit; the four failed
+	// probes count nothing; only the two deliberate Get calls are misses.
+	hits, misses, puts := s.Stats()
+	if hits != 1 || misses != 2 || puts != 1 {
+		t.Errorf("stats hits=%d misses=%d puts=%d, want 1/2/1 — Probe must count hits only", hits, misses, puts)
+	}
+}
+
 func TestElapsedHint(t *testing.T) {
 	dir := t.TempDir()
 	s, err := Open(dir)

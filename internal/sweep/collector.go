@@ -1,6 +1,8 @@
 package sweep
 
 import (
+	"fmt"
+
 	"repro/internal/manager"
 	"repro/internal/metrics"
 	"repro/internal/simtime"
@@ -88,6 +90,19 @@ type SummaryRow struct {
 	Counters RunCounters
 }
 
+// Condense captures the O(1)-size SummaryRow of one streamed result —
+// the condensation SummaryCollector applies to every row, exposed for
+// collectors that render rows instead of retaining them (RowRenderer,
+// the CLIs' streaming tables). The raw run and ideal baseline become
+// garbage the moment the caller drops r.
+func Condense(r *Result) SummaryRow {
+	return SummaryRow{
+		Scenario: r.Scenario,
+		Summary:  r.Summary,
+		Counters: countersOf(r.Run),
+	}
+}
+
 // SummaryCollector condenses each result to a SummaryRow as it streams
 // past, dropping the raw run and ideal baseline. A sweep collected this
 // way retains O(workers) full results at any instant (the executor's
@@ -100,13 +115,91 @@ type SummaryCollector struct {
 
 // Collect condenses and appends the result.
 func (c *SummaryCollector) Collect(r *Result) error {
-	c.Rows = append(c.Rows, SummaryRow{
-		Scenario: r.Scenario,
-		Summary:  r.Summary,
-		Counters: countersOf(r.Run),
-	})
+	c.Rows = append(c.Rows, Condense(r))
 	return nil
 }
+
+// RowRenderer groups a sweep's streamed results into report rows and
+// hands each row over the moment its last scenario lands. It is the
+// streaming report primitive on top of the Collector pipeline: where
+// SummaryCollector retains O(grid) condensed rows for post-sweep
+// indexing, a RowRenderer retains at most one in-progress block — O(1)
+// in the grid size — because it renders and forgets. Every grid report
+// (the experiments' figure tables, the CLIs' sweep tables) sits on it,
+// which is what makes tables print incrementally while a sweep runs and,
+// in a coordinator watch-mode merge, the moment each scenario is stored
+// by a remote shard.
+//
+// Scenarios arrive in spec order (policies innermost), so a report's
+// rows must be contiguous runs of spec order: transpose a table if its
+// natural rows lie along an outer axis (a "policy × RUs" figure becomes
+// "RUs \ policy" so each unit count's row completes as its policy block
+// streams past).
+type RowRenderer struct {
+	// Sizes is the sequence of consecutive block sizes, in scenarios per
+	// report row; after the sequence is exhausted the last size repeats.
+	// Empty means 1 (one rendered row per scenario). Typical tables use
+	// one size — the length of the innermost axis.
+	Sizes []int
+	// Emit renders completed block i. The rows slice is reused for the
+	// next block: consume it, do not retain it.
+	Emit func(i int, rows []SummaryRow) error
+
+	block   []SummaryRow
+	emitted int
+	maxHeld int
+}
+
+// size returns the current block's expected size.
+func (r *RowRenderer) size() int {
+	switch {
+	case len(r.Sizes) == 0:
+		return 1
+	case r.emitted < len(r.Sizes):
+		return r.Sizes[r.emitted]
+	default:
+		return r.Sizes[len(r.Sizes)-1]
+	}
+}
+
+// Collect condenses the result into the current block and emits the
+// block once full.
+func (r *RowRenderer) Collect(res *Result) error {
+	if r.size() < 1 {
+		return fmt.Errorf("sweep: RowRenderer block %d has non-positive size %d", r.emitted, r.size())
+	}
+	r.block = append(r.block, Condense(res))
+	if len(r.block) > r.maxHeld {
+		r.maxHeld = len(r.block)
+	}
+	if len(r.block) < r.size() {
+		return nil
+	}
+	block := r.block
+	r.block = r.block[:0]
+	i := r.emitted
+	r.emitted++
+	return r.Emit(i, block)
+}
+
+// Close verifies the stream ended on a row boundary; a partial block
+// left behind means the declared Sizes do not tile the grid — a report
+// bug, not a sweep error.
+func (r *RowRenderer) Close() error {
+	if len(r.block) != 0 {
+		return fmt.Errorf("sweep: render stream ended mid-row: %d of %d scenarios of row %d collected",
+			len(r.block), r.size(), r.emitted)
+	}
+	return nil
+}
+
+// Rows reports how many report rows have been emitted.
+func (r *RowRenderer) Rows() int { return r.emitted }
+
+// MaxHeld reports the largest number of condensed rows buffered at any
+// instant — the bounded-retention evidence: it never exceeds the largest
+// block size, however large the grid.
+func (r *RowRenderer) MaxHeld() int { return r.maxHeld }
 
 // SummarySet is a completed summary-only sweep: rows in spec order plus
 // axis-indexed access, the lightweight analogue of ResultSet.

@@ -164,6 +164,120 @@ func TestCollectBoundedReorderWindow(t *testing.T) {
 	}
 }
 
+// TestRowRendererBlocks is the pure grouping pin: Sizes sequencing with
+// last-size repeat, block indices, Close's ragged-grid error and the
+// MaxHeld bookkeeping, driven by synthetic results (no simulator).
+func TestRowRendererBlocks(t *testing.T) {
+	feed := func(rr *RowRenderer, n int) error {
+		for i := 0; i < n; i++ {
+			if err := rr.Collect(&Result{Scenario: Scenario{Index: i}}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var got [][]int
+	rr := &RowRenderer{
+		Sizes: []int{2, 3, 1},
+		Emit: func(i int, rows []SummaryRow) error {
+			if i != len(got) {
+				t.Fatalf("block index %d, want %d", i, len(got))
+			}
+			idxs := make([]int, len(rows))
+			for j, r := range rows {
+				idxs[j] = r.Scenario.Index
+			}
+			got = append(got, idxs)
+			return nil
+		},
+	}
+	// 2 + 3 + 1 + 1 (the last size repeats) = 7 scenarios, 4 blocks.
+	if err := feed(rr, 7); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := [][]int{{0, 1}, {2, 3, 4}, {5}, {6}}
+	for i := range want {
+		if len(got) <= i || len(got[i]) != len(want[i]) {
+			t.Fatalf("blocks = %v, want shapes of %v", got, want)
+		}
+	}
+	if rr.Rows() != 4 {
+		t.Errorf("Rows() = %d, want 4", rr.Rows())
+	}
+	if rr.MaxHeld() != 3 {
+		t.Errorf("MaxHeld() = %d, want 3 (the largest block)", rr.MaxHeld())
+	}
+
+	ragged := &RowRenderer{Sizes: []int{3}, Emit: func(int, []SummaryRow) error { return nil }}
+	if err := feed(ragged, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := ragged.Close(); err == nil {
+		t.Error("Close accepted a stream that ended mid-row")
+	}
+
+	emitErr := &RowRenderer{Emit: func(int, []SummaryRow) error { return fmt.Errorf("sink full") }}
+	if err := emitErr.Collect(&Result{}); err == nil {
+		t.Error("Emit error swallowed")
+	}
+
+	bad := &RowRenderer{Sizes: []int{0}, Emit: func(int, []SummaryRow) error { return nil }}
+	if err := bad.Collect(&Result{}); err == nil {
+		t.Error("non-positive block size accepted")
+	}
+}
+
+// TestRowRendererBoundedRetention is the renderer half of the streaming
+// memory gate: on a grid far larger than one report row, a RowRenderer
+// buffers at most one block — O(1) rows, never O(grid) — while emitting
+// rows whose contents match the O(grid) SummaryCollector path exactly.
+func TestRowRendererBoundedRetention(t *testing.T) {
+	rus := make([]int, 0, 17)
+	for r := 4; r <= 20; r++ {
+		rus = append(rus, r)
+	}
+	spec := fig9Spec(t, rus...) // 17 × 4 = 68 scenarios
+	group := len(spec.Policies)
+
+	var rows []SummaryRow
+	rr := &RowRenderer{
+		Sizes: []int{group},
+		Emit: func(i int, block []SummaryRow) error {
+			rows = append(rows, append([]SummaryRow(nil), block...)...)
+			return nil
+		},
+	}
+	if err := (Executor{Workers: 4}).Collect(spec, rr); err != nil {
+		t.Fatal(err)
+	}
+	if err := rr.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Rows() != spec.Size()/group {
+		t.Errorf("emitted %d rows, grid has %d", rr.Rows(), spec.Size()/group)
+	}
+	if rr.MaxHeld() != group {
+		t.Errorf("renderer held %d rows at peak, want exactly one block of %d — retention is not O(1) rows", rr.MaxHeld(), group)
+	}
+	ss, err := Executor{Workers: 4}.RunSummaries(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(ss.Rows) {
+		t.Fatalf("renderer streamed %d scenarios, SummaryCollector %d", len(rows), len(ss.Rows))
+	}
+	for i := range rows {
+		a, b := &rows[i], &ss.Rows[i]
+		if a.Scenario.Name() != b.Scenario.Name() || a.Counters != b.Counters || !reflect.DeepEqual(a.Summary, b.Summary) {
+			t.Errorf("row %d: renderer diverged from SummaryCollector", i)
+		}
+	}
+}
+
 // TestEstimatedCostOrdering sanity-checks the dispatch heuristic: the
 // LFD family outweighs the O(1) policies, wider windows outweigh
 // narrower ones, and fewer units mean more work. (Only dispatch order —

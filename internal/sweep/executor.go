@@ -80,6 +80,16 @@ type Executor struct {
 	// shard that never ran. Uncacheable specs (which can never be in the
 	// store) still run live. Requires Store.
 	RequireStored bool
+	// StoreWait softens RequireStored from "missing now means failed"
+	// into "missing now means not stored yet": a cacheable scenario
+	// absent from the store is awaited — polled via Store.Probe —
+	// until a producer lands it or StoreWait.Done reports no producer
+	// ever will. This is the watch-mode merge: it may start before (or
+	// while) a coordinator pool populates the store, and each scenario is
+	// served the moment its entry appears, so a streaming collector
+	// renders rows while remote shards are still running. Requires
+	// RequireStored (and therefore Store).
+	StoreWait *StoreWait
 	// SpecOrderDispatch feeds scenarios to the pool in spec order instead
 	// of descending estimated cost. Results are identical either way;
 	// this exists for benchmarks comparing the dispatch strategies and
@@ -151,6 +161,9 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	}
 	if e.RequireStored && e.Store == nil {
 		return fmt.Errorf("sweep: RequireStored without a store")
+	}
+	if e.StoreWait != nil && !e.RequireStored {
+		return fmt.Errorf("sweep: StoreWait without RequireStored (waiting only makes sense for a store-only merge)")
 	}
 	// Canonical config hashes, precomputed once per sweep (the workload
 	// content hash dominates and is shared by every scenario of an axis
@@ -425,6 +438,9 @@ func policyCostWeight(p PolicySpec) float64 {
 // the sweep has failed, after which nothing more is persisted.
 func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key string, stop <-chan struct{}) (*Result, error) {
 	if key != "" {
+		if e.RequireStored && e.StoreWait != nil {
+			return e.awaitStored(sp, sc, key, stop)
+		}
 		if ent, ok := e.Store.Get(key); ok {
 			if res := resultFromEntry(sp, sc, ent); res != nil {
 				return res, nil
@@ -459,6 +475,64 @@ func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key strin
 	// reports the failure in its summary line.
 	_ = e.Store.Put(key, ent)
 	return res, nil
+}
+
+// StoreWait configures the watch-mode serve of a RequireStored sweep:
+// how often to re-probe the store for a missing scenario and how to
+// decide that no producer will ever store it.
+type StoreWait struct {
+	// Poll is the store re-probe interval; values ≤ 0 mean 200ms. Probes
+	// go through Store.Probe — one file read per poll, a hit counted
+	// only on the serve, never a miss for "not here yet" — so a watch
+	// merge's digest reads exactly like a post-drain merge's.
+	Poll time.Duration
+	// Done reports whether the producers have finished. (false, nil)
+	// keeps the executor waiting; (true, nil) means no further entries
+	// will arrive, so a still-missing scenario becomes a hard error —
+	// RequireStored's contract, deferred until the pool has had its say;
+	// a non-nil error means the producers can never finish (a coordinator
+	// pool dead past its lease TTL — see coord.(*Coordinator).Drained)
+	// and fails the sweep instead of hanging it forever. Called
+	// concurrently from the executor's workers; it must be safe for that.
+	Done func() (bool, error)
+}
+
+// awaitStored serves one scenario from the store the moment a producer
+// lands it, per the StoreWait contract above. stop aborts the wait when
+// the sweep fails elsewhere.
+func (e Executor) awaitStored(sp *Spec, sc Scenario, key string, stop <-chan struct{}) (*Result, error) {
+	poll := e.StoreWait.Poll
+	if poll <= 0 {
+		poll = 200 * time.Millisecond
+	}
+	serve := func(ent *resultstore.Entry) (*Result, error) {
+		if res := resultFromEntry(sp, sc, ent); res != nil {
+			return res, nil
+		}
+		return nil, fmt.Errorf("entry in result store %s lacks a part this sweep needs (damaged store?)", e.Store.Dir())
+	}
+	for {
+		if ent, ok := e.Store.Probe(key); ok {
+			return serve(ent)
+		}
+		done, err := e.StoreWait.Done()
+		if err != nil {
+			return nil, err
+		}
+		if done {
+			// The pool may have stored the entry between our probe and
+			// its done record: one last look before declaring it missing.
+			if ent, ok := e.Store.Probe(key); ok {
+				return serve(ent)
+			}
+			return nil, fmt.Errorf("not in result store %s after the pool drained (did its workers run the same grid?)", e.Store.Dir())
+		}
+		select {
+		case <-stop:
+			return nil, fmt.Errorf("sweep cancelled while waiting for the store")
+		case <-time.After(poll):
+		}
+	}
 }
 
 // resultFromEntry rebuilds a scenario result from a store entry, or

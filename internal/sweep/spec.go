@@ -6,22 +6,36 @@
 // A Spec is the cross product of four axes (Workloads, RUs, Latencies,
 // Policies). Expand flattens it into Scenarios in a fixed spec order;
 // Executor.Collect simulates them concurrently and streams the results
-// into a Collector in that same order, so a parallel sweep is
-// byte-for-byte interchangeable with a sequential one. Run is the
-// gather-everything wrapper (a ResultSetCollector into a ResultSet);
-// RunSummaries streams through a SummaryCollector, which drops each raw
-// run as it passes and caps the sweep's memory at O(workers) results —
-// the mode every summary-only grid report uses. Shared inputs are
-// computed once per sweep, not once per scenario: the zero-latency ideal
-// baseline per (workload, RUs), and the design-time mobility tables per
-// (template, RUs, latency) via the process-wide cache in
-// internal/mobility.
+// into a Collector in that same order, from one goroutine, so a parallel
+// sweep is byte-for-byte interchangeable with a sequential one. Shared
+// inputs are computed once per sweep, not once per scenario: the
+// zero-latency ideal baseline per (workload, RUs), and the design-time
+// mobility tables per (template, RUs, latency) via the process-wide
+// cache in internal/mobility.
+//
+// The Collector is the report path's unit of composition:
+//
+//   - Run gathers everything into a ResultSet (O(grid) raw results —
+//     only for reports that need traces or completion times);
+//   - RunSummaries streams through a SummaryCollector, dropping each raw
+//     run as it passes (O(workers) raw results, O(grid) small rows);
+//   - RowRenderer groups the stream into report rows and renders each
+//     one the moment its last scenario lands — O(1) rows retained, the
+//     primitive behind every streaming table (see metrics.StreamTable);
+//   - Discard, with a Store attached, is the write-through populate mode
+//     of sharded runs: the store entries are the only output.
 //
 // Spec.Shard splits the grid across cooperating processes: shard i of N
 // owns every scenario whose spec index ≡ i (mod N), the shards tile the
 // grid exactly, and a shared result store merges them back into one
-// report (see Executor.RequireStored and the CLIs' -shard/-merge-report
-// flags).
+// report — Executor.RequireStored renders purely from the store, failing
+// (never silently re-simulating) on a missing scenario, and
+// Executor.StoreWait softens that into the watch-mode merge: a missing
+// scenario is awaited and served the moment a remote shard stores it,
+// with StoreWait.Done (typically coord.(*Coordinator).Drained) bounding
+// the wait so a dead pool errors instead of hanging. See the CLIs'
+// -shard/-coord/-merge-report/-watch flags and ARCHITECTURE.md for the
+// full pipeline.
 //
 // Typical use (the Fig. 9 protocol):
 //
