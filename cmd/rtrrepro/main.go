@@ -59,6 +59,7 @@ import (
 
 	"repro/internal/coord"
 	"repro/internal/experiments"
+	"repro/internal/profiling"
 	"repro/internal/resultstore"
 	"repro/internal/simtime"
 	"repro/internal/sweep"
@@ -86,8 +87,21 @@ func main() {
 		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
 		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
 		watch        = flag.Bool("watch", false, "with -coord and -merge-report: block until the pool drains, rendering each report row the moment its scenarios are stored (per-shard progress on stderr); a pool dead past its lease TTL errors instead of hanging")
+
+		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of this run to the file (inspect with go tool pprof; see EXPERIMENTS.md)")
+		memProfile = flag.String("memprofile", "", "write a heap profile (live memory after GC) to the file at exit")
 	)
 	flag.Parse()
+
+	stopProfiles, err := profiling.Start(*cpuProfile, *memProfile)
+	if err != nil {
+		fatal(err)
+	}
+	defer func() {
+		if err := stopProfiles(); err != nil {
+			fmt.Fprintln(os.Stderr, "rtrrepro:", err)
+		}
+	}()
 
 	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
 	if err != nil {

@@ -26,40 +26,62 @@ type Item struct {
 }
 
 // List is the Dynamic List proper. The zero value is an empty list.
+//
+// The list is a head-indexed queue over one backing array: PopFront
+// advances the head instead of re-slicing the storage away, and the array
+// rewinds whenever the queue drains, so a long simulation pushing and
+// popping hundreds of arrivals reuses the same memory instead of growing
+// a fresh tail after every drain.
 type List struct {
 	items []Item
+	head  int
 }
 
 // Push appends an item (FIFO, as in the paper's Fig. 1).
-func (l *List) Push(it Item) { l.items = append(l.items, it) }
+func (l *List) Push(it Item) {
+	if l.head == len(l.items) && l.head > 0 {
+		// Drained: rewind onto the existing backing array.
+		l.items = l.items[:0]
+		l.head = 0
+	}
+	l.items = append(l.items, it)
+}
 
 // PopFront removes and returns the head of the list.
 func (l *List) PopFront() (Item, bool) {
-	if len(l.items) == 0 {
+	if l.head == len(l.items) {
 		return Item{}, false
 	}
-	it := l.items[0]
-	l.items = l.items[1:]
+	it := l.items[l.head]
+	l.items[l.head] = Item{} // drop the Graph reference
+	l.head++
 	return it, true
 }
 
 // Len returns the number of enqueued applications.
-func (l *List) Len() int { return len(l.items) }
+func (l *List) Len() int { return len(l.items) - l.head }
 
 // At returns the i-th enqueued item (0 = head).
-func (l *List) At(i int) Item { return l.items[i] }
+func (l *List) At(i int) Item { return l.items[l.head+i] }
+
+// Reset empties the list, keeping the backing array for reuse.
+func (l *List) Reset() {
+	clear(l.items)
+	l.items = l.items[:0]
+	l.head = 0
+}
 
 // AppendWindow appends to dst the reconfiguration sequences of the first
 // w enqueued graphs (all of them when w is negative or exceeds the list)
 // and returns the extended slice. This is the Dynamic List contribution to
-// a Local LFD lookahead.
+// a Local LFD lookahead. It allocates nothing beyond dst's own growth.
 func (l *List) AppendWindow(dst []taskgraph.TaskID, w int) []taskgraph.TaskID {
-	n := len(l.items)
+	n := l.Len()
 	if w >= 0 && w < n {
 		n = w
 	}
 	for i := 0; i < n; i++ {
-		dst = append(dst, l.items[i].Graph.RecSequenceIDs()...)
+		dst = l.items[l.head+i].Graph.AppendRecIDs(dst)
 	}
 	return dst
 }
@@ -129,6 +151,14 @@ func (f *SliceFeed) Next() (Item, bool) {
 
 // Remaining implements Oracle.
 func (f *SliceFeed) Remaining() []Item { return f.items[f.pos:] }
+
+// Rewind restarts the feed from its first arrival and returns the feed,
+// so one arrival list can drive many runs (a pooled runner re-simulating
+// a scenario, a benchmark iterating) without rebuilding it.
+func (f *SliceFeed) Rewind() *SliceFeed {
+	f.pos = 0
+	return f
+}
 
 // Len returns the total number of arrivals in the feed.
 func (f *SliceFeed) Len() int { return len(f.items) }

@@ -1,0 +1,85 @@
+package dynlist
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// TestListReusesBackingArray: steady push/pop churn over a drained list
+// runs on one backing array — no allocation once warm.
+func TestListReusesBackingArray(t *testing.T) {
+	g := taskgraph.Chain("g", 1, simtime.FromMs(1))
+	var l List
+	warm := func() {
+		for i := 0; i < 16; i++ {
+			l.Push(Item{Graph: g, Instance: i})
+		}
+		for {
+			if _, ok := l.PopFront(); !ok {
+				break
+			}
+		}
+	}
+	warm()
+	if avg := testing.AllocsPerRun(20, warm); avg != 0 {
+		t.Errorf("warm push/pop cycle allocates %.1f times, want 0", avg)
+	}
+}
+
+// TestListReset empties the list in place.
+func TestListReset(t *testing.T) {
+	g := taskgraph.Chain("g", 1, simtime.FromMs(1))
+	var l List
+	l.Push(Item{Graph: g})
+	l.Push(Item{Graph: g})
+	l.PopFront()
+	l.Reset()
+	if l.Len() != 0 {
+		t.Fatalf("len = %d after Reset", l.Len())
+	}
+	if _, ok := l.PopFront(); ok {
+		t.Error("PopFront succeeded on reset list")
+	}
+	l.Push(Item{Graph: g, Instance: 9})
+	if it := l.At(0); it.Instance != 9 {
+		t.Errorf("At(0).Instance = %d after Reset+Push", it.Instance)
+	}
+}
+
+// TestSliceFeedRewind: a rewound feed replays the identical arrival
+// stream, so one feed can drive many runs.
+func TestSliceFeedRewind(t *testing.T) {
+	g := taskgraph.Chain("g", 1, simtime.FromMs(1))
+	f := NewSequence(g, g, g)
+	var first []int
+	for {
+		it, ok := f.Next()
+		if !ok {
+			break
+		}
+		first = append(first, it.Instance)
+	}
+	if len(first) != 3 {
+		t.Fatalf("drained %d items, want 3", len(first))
+	}
+	if f.Rewind() != f {
+		t.Error("Rewind should return the receiver")
+	}
+	for i := 0; ; i++ {
+		it, ok := f.Next()
+		if !ok {
+			if i != len(first) {
+				t.Fatalf("replay ended after %d items, want %d", i, len(first))
+			}
+			break
+		}
+		if it.Instance != first[i] {
+			t.Fatalf("replay item %d: instance %d, want %d", i, it.Instance, first[i])
+		}
+	}
+	if len(f.Remaining()) != 0 {
+		t.Error("Remaining not empty after full replay")
+	}
+}

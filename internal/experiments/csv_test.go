@@ -1,0 +1,59 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestFig9CSVMatchesTable: the csv: block spooled during the streaming
+// run carries exactly the table's rows — header, one line per unit
+// count, the Avg. line — in table order, even though the rows were
+// written to the spool long before the block is emitted.
+func TestFig9CSVMatchesTable(t *testing.T) {
+	o := smallOptions()
+	o.CSV = true
+	var out bytes.Buffer
+	if err := Fig9A(o, &out); err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	_, csvPart, ok := strings.Cut(s, "\ncsv:\n")
+	if !ok {
+		t.Fatalf("no csv: block in output:\n%s", s)
+	}
+	csvLines := strings.Split(csvPart, "\n\n")[0]
+	lines := strings.Split(csvLines, "\n")
+	// Header + one row per unit count + Avg.
+	if want := 1 + len(o.RUs) + 1; len(lines) != want {
+		t.Fatalf("csv block has %d lines, want %d:\n%s", len(lines), want, csvLines)
+	}
+	if lines[0] != "RUs \\ policy,LRU,Local LFD (1),Local LFD (2),Local LFD (4),LFD" {
+		t.Errorf("csv header = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[len(lines)-1], "Avg.,") {
+		t.Errorf("last csv line = %q, want the Avg. row", lines[len(lines)-1])
+	}
+	// Every csv value appears in the rendered table: the spool is a
+	// re-encoding of the same rows, not a second computation.
+	tablePart := s[:strings.Index(s, "\ncsv:\n")]
+	for i, line := range lines[1:] {
+		for _, cell := range strings.Split(line, ",") {
+			if !strings.Contains(tablePart, cell) {
+				t.Errorf("csv row %d cell %q missing from the table", i, cell)
+			}
+		}
+	}
+}
+
+// TestFig9NoCSVBlockByDefault: without -csv nothing is spooled and no
+// csv: block appears.
+func TestFig9NoCSVBlockByDefault(t *testing.T) {
+	var out bytes.Buffer
+	if err := Fig9A(smallOptions(), &out); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(out.String(), "csv:") {
+		t.Error("csv: block present without CSV option")
+	}
+}

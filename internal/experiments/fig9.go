@@ -3,6 +3,7 @@ package experiments
 import (
 	"fmt"
 	"io"
+	"os"
 	"strconv"
 
 	"repro/internal/metrics"
@@ -66,11 +67,27 @@ func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 		rowLabels = append(rowLabels, strconv.Itoa(r))
 	}
 	rowLabels = append(rowLabels, "Avg.")
+	// -csv output must follow the table, but the rows exist first; they
+	// spool to a temp file as the table streams (O(1) in memory however
+	// large the grid) and are copied under the "csv:" banner at the end.
+	var csvSpool *os.File
+	var csvTo io.Writer
+	if opt.CSV {
+		f, err := os.CreateTemp("", "rtr-fig9-csv-*.csv")
+		if err != nil {
+			return fmt.Errorf("csv spool: %w", err)
+		}
+		defer func() {
+			f.Close()
+			os.Remove(f.Name())
+		}()
+		csvSpool, csvTo = f, f
+	}
 	tab := metrics.NewStreamTable(w, metrics.StreamTableConfig{
-		XLabel:     "RUs \\ policy",
-		RowLabels:  rowLabels,
-		XValues:    names,
-		CaptureCSV: opt.CSV,
+		XLabel:    "RUs \\ policy",
+		RowLabels: rowLabels,
+		XValues:   names,
+		CSVTo:     csvTo,
 	})
 
 	sums := make([]float64, len(series))
@@ -100,7 +117,12 @@ func fig9Run(opt Options, w io.Writer, title string, series []sweep.PolicySpec,
 	}
 	if opt.CSV {
 		fmt.Fprintln(w, "\ncsv:")
-		fmt.Fprint(w, tab.CSV())
+		if _, err := csvSpool.Seek(0, io.SeekStart); err != nil {
+			return fmt.Errorf("csv spool: %w", err)
+		}
+		if _, err := io.Copy(w, csvSpool); err != nil {
+			return fmt.Errorf("csv spool: %w", err)
+		}
 	}
 	if len(paperAvg) > 0 {
 		fmt.Fprintln(w, "\npaper-reported averages for comparison:")

@@ -1,0 +1,79 @@
+package manager
+
+import (
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/dynlist"
+	"repro/internal/policy"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// BenchmarkEventLoop measures the steady-state hot loop on the paper's
+// 500-application workload shape: a warm Runner re-simulating the whole
+// sequence, reported per simulated event. Two custom metrics feed the CI
+// budget gate (see .github/workflows/ci.yml):
+//
+//	ns/event     — wall time per processed simulator event
+//	allocs/event — heap allocations per event; must be exactly 0
+//
+// The snapshot of the escaping Result is deliberately excluded (the
+// unexported phases are driven directly): this benchmark isolates the
+// loop the tests in reuse_test.go pin to zero allocations.
+func BenchmarkEventLoop(b *testing.B) {
+	pool := workload.Multimedia()
+	feed, err := dynlist.RandomSequence(pool, 500, rand.New(rand.NewSource(20110516)))
+	if err != nil {
+		b.Fatal(err)
+	}
+	items := feed.Remaining()
+	seq := make([]*taskgraph.Graph, len(items))
+	for i, it := range items {
+		seq[i] = it.Graph
+	}
+	local, err := policy.NewLocalLFD(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		pol  policy.Policy
+	}{
+		{"LRU", policy.NewLRU()},
+		{"LocalLFD1", local},
+		{"LFD", policy.NewLFD()},
+	}
+	for _, c := range cases {
+		b.Run(c.name, func(b *testing.B) {
+			cfg := Config{RUs: 4, Latency: workload.PaperLatency(), Policy: c.pol}
+			run := dynlist.NewSequence(seq...)
+			r := NewRunner()
+			runOnce := func() uint64 {
+				if err := r.Reset(cfg); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.start(run.Rewind()); err != nil {
+					b.Fatal(err)
+				}
+				if err := r.loop(); err != nil {
+					b.Fatal(err)
+				}
+				return r.engine.Popped()
+			}
+			runOnce() // warm the runner to its high-water mark
+			var before, after runtime.MemStats
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				events += runOnce()
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(events), "ns/event")
+			b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(events), "allocs/event")
+		})
+	}
+}

@@ -25,6 +25,13 @@
 // when graph k completes); eviction candidates are units that are neither
 // executing nor holding a configuration still awaiting execution in the
 // running graph; and a postponed load waits for the next simulator event.
+//
+// The steady-state event loop is allocation-free: a Runner owns every
+// piece of per-run state (engine queue, unit array, instance bookkeeping,
+// lookahead and candidate buffers) and reuses it across runs, so a sweep
+// worker simulates its whole slice of the grid on warm memory. See
+// ARCHITECTURE.md §"The hot loop" for the design and its invariant —
+// reuse never changes simulation output.
 package manager
 
 import (
@@ -115,9 +122,9 @@ type Result struct {
 	Events uint64
 	// Trace is the full record when Config.RecordTrace was set.
 	Trace *trace.Trace
-	// Templates maps instance number to its graph template (for trace
-	// validation and reporting).
-	Templates map[int]*taskgraph.Graph
+	// Templates holds each instance's graph template, indexed by instance
+	// number (for trace validation and reporting).
+	Templates []*taskgraph.Graph
 }
 
 // taskState tracks one task of the running instance.
@@ -149,8 +156,50 @@ type instance struct {
 	mobility  []int
 }
 
-// runner is the live simulation state.
-type runner struct {
+// taskSet is an array-backed set of TaskIDs with O(1) epoch-based reset:
+// a member is an entry stamped with the current epoch, so clearing the set
+// between runs is a counter increment rather than an O(maxID) wipe, and a
+// membership test is one bounds-checked load instead of a map probe.
+type taskSet struct {
+	mark  []uint32
+	epoch uint32
+}
+
+func (s *taskSet) reset(maxID taskgraph.TaskID) {
+	if n := int(maxID) + 1; n > len(s.mark) {
+		s.mark = make([]uint32, n)
+		s.epoch = 0
+	}
+	s.epoch++
+	if s.epoch == 0 { // epoch counter wrapped: wipe the stale stamps once
+		clear(s.mark)
+		s.epoch = 1
+	}
+}
+
+func (s *taskSet) add(id taskgraph.TaskID)      { s.mark[id] = s.epoch }
+func (s *taskSet) remove(id taskgraph.TaskID)   { s.mark[id] = 0 }
+func (s *taskSet) has(id taskgraph.TaskID) bool { return s.mark[id] == s.epoch }
+
+// resize returns s with exactly n zeroed elements, reusing the backing
+// array when it is large enough.
+func resize[T any](s []T, n int) []T {
+	if n <= cap(s) {
+		s = s[:n]
+		clear(s)
+		return s
+	}
+	return make([]T, n)
+}
+
+// Runner is a reusable simulation runner. One Runner executes any number
+// of runs sequentially, recycling every internal structure — event queue,
+// unit array, instance bookkeeping, lookahead and candidate buffers — so
+// that after the first run the event loop allocates nothing. Reuse is
+// observationally invisible: a reused Runner produces byte-identical
+// results to a fresh one (property-tested). A Runner is not safe for
+// concurrent use; give each goroutine its own.
+type Runner struct {
 	cfg    Config
 	engine sim.Engine
 	units  *ru.Array
@@ -159,17 +208,20 @@ type runner struct {
 	arrivals []dynlist.Item
 	arrived  int // arrivals already pushed into the DL
 	dl       dynlist.List
+	inst     instance // pooled storage for the running application
 	cur      *instance
 
-	protected map[taskgraph.TaskID]bool
+	protected taskSet
 	skipArmed bool
 
 	// Cross-graph prefetch state: the instance being preloaded, the
 	// position reached in its reconfiguration sequence, the units its
-	// completed preloads landed on, and the task of an in-flight preload.
+	// completed preloads landed on (parallel id/unit slices, in completion
+	// order), and the task of an in-flight preload.
 	preloadFor      int
 	preloadPos      int
-	preloadDone     map[taskgraph.TaskID]int
+	preloadDoneIDs  []taskgraph.TaskID
+	preloadDoneRUs  []int
 	preloadInFlight taskgraph.TaskID
 
 	lookbuf []taskgraph.TaskID
@@ -179,37 +231,83 @@ type runner struct {
 	tr  *trace.Trace
 }
 
+// NewRunner returns an empty Runner, ready for its first Run.
+func NewRunner() *Runner { return &Runner{preloadFor: -1} }
+
 // Run executes every application produced by feed under cfg and returns
-// the aggregated result.
+// the aggregated result. It is shorthand for NewRunner().Run — callers
+// running many simulations should hold on to one Runner instead.
 func Run(cfg Config, feed dynlist.Feed) (*Result, error) {
+	return NewRunner().Run(cfg, feed)
+}
+
+// Run executes every application produced by feed under cfg and returns
+// the aggregated result. The Runner's state is fully re-initialized
+// first, so runs are independent regardless of what ran before.
+func (r *Runner) Run(cfg Config, feed dynlist.Feed) (*Result, error) {
+	if err := r.Reset(cfg); err != nil {
+		return nil, err
+	}
+	if err := r.start(feed); err != nil {
+		return nil, err
+	}
+	if err := r.loop(); err != nil {
+		return nil, err
+	}
+	return r.snapshot(), nil
+}
+
+// Reset validates cfg and rewinds the Runner to a pristine state for a
+// new run, reusing the memory of previous runs. It also rewinds stateful
+// policies (policy.Resetter) so a reused policy instance replays its
+// original decision stream.
+func (r *Runner) Reset(cfg Config) error {
 	if cfg.RUs < 1 {
-		return nil, fmt.Errorf("manager: need at least 1 reconfigurable unit, got %d", cfg.RUs)
+		return fmt.Errorf("manager: need at least 1 reconfigurable unit, got %d", cfg.RUs)
 	}
 	if cfg.Policy == nil {
-		return nil, fmt.Errorf("manager: no replacement policy configured")
+		return fmt.Errorf("manager: no replacement policy configured")
 	}
 	if cfg.Latency < 0 {
-		return nil, fmt.Errorf("manager: negative latency %v", cfg.Latency)
+		return fmt.Errorf("manager: negative latency %v", cfg.Latency)
 	}
 	if cfg.MaxEvents == 0 {
 		cfg.MaxEvents = defaultMaxEvents
 	}
-	units, err := ru.NewArray(cfg.RUs)
-	if err != nil {
-		return nil, err
+	if r.units == nil {
+		units, err := ru.NewArray(cfg.RUs)
+		if err != nil {
+			return err
+		}
+		r.units = units
+	} else if err := r.units.Reset(cfg.RUs); err != nil {
+		return err
 	}
-	recon, err := ru.NewReconfigurator(cfg.Latency)
-	if err != nil {
-		return nil, err
+	if r.recon == nil {
+		recon, err := ru.NewReconfigurator(cfg.Latency)
+		if err != nil {
+			return err
+		}
+		r.recon = recon
+	} else if err := r.recon.Reset(cfg.Latency); err != nil {
+		return err
 	}
-	r := &runner{
-		cfg:        cfg,
-		units:      units,
-		recon:      recon,
-		protected:  make(map[taskgraph.TaskID]bool),
-		preloadFor: -1,
-	}
-	r.res.Templates = make(map[int]*taskgraph.Graph)
+	policy.Reset(cfg.Policy)
+	r.cfg = cfg
+	r.arrivals = r.arrivals[:0]
+	r.arrived = 0
+	r.dl.Reset()
+	r.cur = nil
+	r.skipArmed = false
+	r.preloadFor = -1
+	r.preloadPos = 0
+	r.preloadDoneIDs = r.preloadDoneIDs[:0]
+	r.preloadDoneRUs = r.preloadDoneRUs[:0]
+	r.preloadInFlight = taskgraph.NoTask
+	// Counters restart at zero; the result's slice buffers are kept.
+	comps, tmpls := r.res.Completions[:0], r.res.Templates[:0]
+	r.res = Result{Completions: comps, Templates: tmpls}
+	r.tr = nil
 	if cfg.RecordTrace {
 		r.tr = &trace.Trace{
 			RUs:           cfg.RUs,
@@ -218,9 +316,16 @@ func Run(cfg Config, feed dynlist.Feed) (*Result, error) {
 		}
 		r.res.Trace = r.tr
 	}
-	// Drain the feed up front: arrival times are fixed, so each becomes a
-	// scheduled new_task_graph event. (Clairvoyant LFD additionally peeks
-	// at not-yet-arrived items through this slice.)
+	return nil
+}
+
+// start drains the feed, pre-sizes every per-run structure from the
+// workload's shape and schedules the arrival events.
+//
+// The feed is drained up front: arrival times are fixed, so each becomes
+// a scheduled new_task_graph event. (Clairvoyant LFD additionally peeks
+// at not-yet-arrived items through the drained slice.)
+func (r *Runner) start(feed dynlist.Feed) error {
 	for {
 		it, ok := feed.Next()
 		if !ok {
@@ -228,20 +333,50 @@ func Run(cfg Config, feed dynlist.Feed) (*Result, error) {
 		}
 		r.arrivals = append(r.arrivals, it)
 	}
+	var maxID taskgraph.TaskID
+	tasks := 0
 	for i, it := range r.arrivals {
 		if it.Graph == nil {
-			return nil, fmt.Errorf("manager: arrival %d has nil graph", i)
+			return fmt.Errorf("manager: arrival %d has nil graph", i)
 		}
+		if id := it.Graph.MaxTaskID(); id > maxID {
+			maxID = id
+		}
+		tasks += it.Graph.NumTasks()
+	}
+	r.protected.reset(maxID)
+	if cap(r.res.Completions) < len(r.arrivals) {
+		r.res.Completions = make([]simtime.Time, 0, len(r.arrivals))
+	}
+	r.res.Templates = resize(r.res.Templates, len(r.arrivals))
+	r.engine.Reset(len(r.arrivals) + r.cfg.RUs + 2)
+	for i, it := range r.arrivals {
 		r.engine.ScheduleArrival(it.Arrival, i)
 	}
-	if err := r.loop(); err != nil {
-		return nil, err
+	if r.tr != nil {
+		// Pre-size the trace from the workload shape: at most one load and
+		// exactly one exec per task occurrence, one record per instance.
+		r.tr.Loads = make([]trace.Load, 0, tasks)
+		r.tr.Execs = make([]trace.Exec, 0, tasks)
+		r.tr.Graphs = make([]trace.Graph, 0, len(r.arrivals))
 	}
-	return &r.res, nil
+	return nil
+}
+
+// snapshot copies the run's outcome out of the Runner's reusable buffers.
+// Callers retain Results long after the Runner has moved on (a sweep's
+// reorder window holds them across later runs), so every escaping slice
+// is freshly owned; the trace is already per-run.
+func (r *Runner) snapshot() *Result {
+	out := new(Result)
+	*out = r.res
+	out.Completions = append([]simtime.Time(nil), r.res.Completions...)
+	out.Templates = append([]*taskgraph.Graph(nil), r.res.Templates...)
+	return out
 }
 
 // loop is the event loop: pop, handle, settle.
-func (r *runner) loop() error {
+func (r *Runner) loop() error {
 	for {
 		ev, ok := r.engine.Pop()
 		if !ok {
@@ -274,11 +409,12 @@ func (r *runner) loop() error {
 	return nil
 }
 
-func (r *runner) handleEndOfReconfiguration() {
+func (r *Runner) handleEndOfReconfiguration() {
 	task, unit := r.recon.Finish()
 	if task == r.preloadInFlight && task != taskgraph.NoTask {
 		// A cross-graph preload completed before its instance started.
-		r.preloadDone[task] = unit
+		r.preloadDoneIDs = append(r.preloadDoneIDs, task)
+		r.preloadDoneRUs = append(r.preloadDoneRUs, unit)
 		r.preloadInFlight = taskgraph.NoTask
 		return
 	}
@@ -290,7 +426,7 @@ func (r *runner) handleEndOfReconfiguration() {
 	r.cur.ruOf[local] = unit
 }
 
-func (r *runner) handleEndOfExecution(ev sim.Event) {
+func (r *Runner) handleEndOfExecution(ev sim.Event) {
 	now := r.engine.Now()
 	r.units.FinishExecution(ev.RU, now)
 	local := r.cur.g.IndexOf(ev.Task)
@@ -299,7 +435,7 @@ func (r *runner) handleEndOfExecution(ev sim.Event) {
 	}
 	r.cur.state[local] = stateDone
 	r.cur.doneCount++
-	delete(r.protected, ev.Task)
+	r.protected.remove(ev.Task)
 	r.res.Executed++
 	if r.cur.reused[local] {
 		r.res.Reused++
@@ -319,7 +455,7 @@ func (r *runner) handleEndOfExecution(ev sim.Event) {
 	}
 }
 
-func (r *runner) finishInstance(now simtime.Time) {
+func (r *Runner) finishInstance(now simtime.Time) {
 	r.res.Graphs++
 	r.res.Completions = append(r.res.Completions, now)
 	if now.After(r.res.Makespan) {
@@ -340,7 +476,7 @@ func (r *runner) finishInstance(now simtime.Time) {
 // settle repeatedly applies every enabled action until none makes
 // progress: start the next application, start ready executions, and drive
 // the replacement module.
-func (r *runner) settle() error {
+func (r *Runner) settle() error {
 	for {
 		progress := false
 		if r.cur == nil {
@@ -369,34 +505,37 @@ func (r *runner) settle() error {
 	}
 }
 
-func (r *runner) startInstance(it dynlist.Item) {
+func (r *Runner) startInstance(it dynlist.Item) {
 	g := it.Graph
 	n := g.NumTasks()
-	inst := &instance{
+	// The pooled instance storage is recycled: each slice is resliced and
+	// zeroed in place, so after the first few graphs no run allocates here.
+	c := &r.inst
+	*c = instance{
 		item:      it,
 		g:         g,
 		rec:       g.RecSequence(),
-		state:     make([]taskState, n),
-		predsLeft: make([]int, n),
-		ruOf:      make([]int, n),
-		execStart: make([]simtime.Time, n),
-		reused:    make([]bool, n),
-		delayLeft: make([]int, n),
-		mobility:  make([]int, n),
+		state:     resize(c.state, n),
+		predsLeft: resize(c.predsLeft, n),
+		ruOf:      resize(c.ruOf, n),
+		execStart: resize(c.execStart, n),
+		reused:    resize(c.reused, n),
+		delayLeft: resize(c.delayLeft, n),
+		mobility:  resize(c.mobility, n),
+		started:   r.engine.Now(),
 	}
-	inst.started = r.engine.Now()
 	for i := 0; i < n; i++ {
-		inst.predsLeft[i] = len(g.Preds(i))
-		inst.ruOf[i] = -1
+		c.predsLeft[i] = len(g.Preds(i))
+		c.ruOf[i] = -1
 	}
 	if r.cfg.Mobility != nil {
 		if mob := r.cfg.Mobility(g); mob != nil {
-			copy(inst.mobility, mob)
+			copy(c.mobility, mob)
 		}
 	}
 	for local, d := range r.cfg.DelayPlan {
 		if local >= 0 && local < n {
-			inst.delayLeft[local] = d
+			c.delayLeft[local] = d
 		}
 	}
 	// Hand over cross-graph preloads: configurations already loaded for
@@ -404,27 +543,28 @@ func (r *runner) startInstance(it dynlist.Item) {
 	// still be in flight, in which case its end_of_reconfiguration event
 	// will complete it through the normal path.
 	if it.Instance == r.preloadFor {
-		for id, unit := range r.preloadDone {
+		for k, id := range r.preloadDoneIDs {
 			local := g.IndexOf(id)
-			inst.state[local] = stateReady
-			inst.ruOf[local] = unit
+			c.state[local] = stateReady
+			c.ruOf[local] = r.preloadDoneRUs[k]
 		}
 		if r.preloadInFlight != taskgraph.NoTask {
 			local := g.IndexOf(r.preloadInFlight)
-			inst.state[local] = stateLoading
+			c.state[local] = stateLoading
 			r.preloadInFlight = taskgraph.NoTask
 		}
 		r.preloadFor = -1
-		r.preloadDone = nil
+		r.preloadDoneIDs = r.preloadDoneIDs[:0]
+		r.preloadDoneRUs = r.preloadDoneRUs[:0]
 	}
-	r.cur = inst
+	r.cur = c
 	r.skipArmed = false
 	r.res.Templates[it.Instance] = g
 }
 
 // startReadyExecutions launches every task whose configuration is resident
 // and whose predecessors are all done. It reports whether any started.
-func (r *runner) startReadyExecutions() bool {
+func (r *Runner) startReadyExecutions() bool {
 	started := false
 	now := r.engine.Now()
 	c := r.cur
@@ -446,7 +586,7 @@ func (r *runner) startReadyExecutions() bool {
 // replacementModule is Fig. 8: handle the next reconfiguration-sequence
 // entry. It reports whether it made progress (reuse or load started); a
 // skip or a lack of candidates is not progress.
-func (r *runner) replacementModule() bool {
+func (r *Runner) replacementModule() bool {
 	c := r.cur
 	// Entries satisfied by a cross-graph preload are already resident;
 	// consume them silently.
@@ -466,7 +606,7 @@ func (r *runner) replacementModule() bool {
 		c.ruOf[local] = unit
 		c.reused[local] = true
 		c.recPos++
-		r.protected[id] = true
+		r.protected.add(id)
 		return true
 	}
 
@@ -481,7 +621,7 @@ func (r *runner) replacementModule() bool {
 	if !hasEmpty {
 		for i := 0; i < r.units.Len(); i++ {
 			u := r.units.Unit(i)
-			if u.Busy || r.protected[u.Resident] {
+			if u.Busy || r.protected.has(u.Resident) {
 				continue
 			}
 			cands = append(cands, policy.Candidate{
@@ -540,7 +680,7 @@ func (r *runner) replacementModule() bool {
 // evicting a unit outside the candidate set would corrupt the simulation
 // (e.g. destroy an executing or pending configuration), so it is caught
 // immediately rather than surfacing as a bizarre schedule.
-func (r *runner) checkDecision(dec policy.Decision, cands []policy.Candidate) {
+func (r *Runner) checkDecision(dec policy.Decision, cands []policy.Candidate) {
 	for _, c := range cands {
 		if c.RU == dec.RU && c.Task == dec.Victim {
 			return
@@ -551,7 +691,7 @@ func (r *runner) checkDecision(dec policy.Decision, cands []policy.Candidate) {
 }
 
 // beginLoad starts the reconfiguration of task id onto the given unit.
-func (r *runner) beginLoad(local int, id taskgraph.TaskID, unit int) {
+func (r *Runner) beginLoad(local int, id taskgraph.TaskID, unit int) {
 	now := r.engine.Now()
 	evicted := r.units.Install(unit, id, now)
 	if evicted != taskgraph.NoTask {
@@ -566,7 +706,7 @@ func (r *runner) beginLoad(local int, id taskgraph.TaskID, unit int) {
 	c := r.cur
 	c.state[local] = stateLoading
 	c.recPos++
-	r.protected[id] = true
+	r.protected.add(id)
 	r.engine.Schedule(end, sim.EndOfReconfiguration, id, unit)
 	if r.tr != nil {
 		r.tr.Loads = append(r.tr.Loads, trace.Load{
@@ -581,12 +721,13 @@ func (r *runner) beginLoad(local int, id taskgraph.TaskID, unit int) {
 // graph's configurations onto the array — pinning those already resident
 // and loading the missing ones, one per invocation. It reports whether a
 // load started.
-func (r *runner) preloadStep() bool {
+func (r *Runner) preloadStep() bool {
 	head := r.dl.At(0)
 	if r.preloadFor != head.Instance {
 		r.preloadFor = head.Instance
 		r.preloadPos = 0
-		r.preloadDone = make(map[taskgraph.TaskID]int)
+		r.preloadDoneIDs = r.preloadDoneIDs[:0]
+		r.preloadDoneRUs = r.preloadDoneRUs[:0]
 		r.preloadInFlight = taskgraph.NoTask
 	}
 	g := head.Graph
@@ -597,7 +738,7 @@ func (r *runner) preloadStep() bool {
 			// Already resident (a completed preload or a leftover from an
 			// earlier instance): pin it so it survives until the instance
 			// starts — leftovers will be counted as reuses then.
-			r.protected[id] = true
+			r.protected.add(id)
 			r.preloadPos++
 			continue
 		}
@@ -607,7 +748,7 @@ func (r *runner) preloadStep() bool {
 			cands := r.candbuf[:0]
 			for i := 0; i < r.units.Len(); i++ {
 				u := r.units.Unit(i)
-				if u.Busy || r.protected[u.Resident] {
+				if u.Busy || r.protected.has(u.Resident) {
 					continue
 				}
 				cands = append(cands, policy.Candidate{
@@ -645,7 +786,7 @@ func (r *runner) preloadStep() bool {
 		end := r.recon.BeginLatency(id, unit, now, latency)
 		r.res.Loads++
 		r.res.Preloads++
-		r.protected[id] = true
+		r.protected.add(id)
 		r.preloadInFlight = id
 		r.preloadPos++
 		r.engine.Schedule(end, sim.EndOfReconfiguration, id, unit)
@@ -663,8 +804,10 @@ func (r *runner) preloadStep() bool {
 // lookahead builds the future request sequence visible to the policy: the
 // remainder of the running graph's reconfiguration sequence (beyond the
 // entry being decided), then the Dynamic List window, then — for the
-// clairvoyant window — every arrival still to come.
-func (r *runner) lookahead() []taskgraph.TaskID {
+// clairvoyant window — every arrival still to come. It reuses one buffer
+// across calls and allocates nothing once that buffer has grown to the
+// workload's high-water mark.
+func (r *Runner) lookahead() []taskgraph.TaskID {
 	w := r.cfg.Policy.Window()
 	buf := r.lookbuf[:0]
 	if w == policy.WindowNone {
@@ -683,7 +826,7 @@ func (r *runner) lookahead() []taskgraph.TaskID {
 	buf = r.dl.AppendWindow(buf, w)
 	if w == policy.WindowAll {
 		for _, it := range r.arrivals[r.arrived:] {
-			buf = append(buf, it.Graph.RecSequenceIDs()...)
+			buf = it.Graph.AppendRecIDs(buf)
 		}
 	}
 	r.lookbuf = buf

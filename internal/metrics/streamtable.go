@@ -30,23 +30,26 @@ type StreamTableConfig struct {
 	// "%.2f" percentage up to 999.99). Columns whose header is wider use
 	// the header width.
 	MinCell int
-	// CaptureCSV additionally accumulates the rows in CSV form,
-	// retrievable from CSV after the last row. The capture holds rendered
-	// strings, not results; reports that do not ask for CSV hold nothing.
-	CaptureCSV bool
+	// CSVTo, when non-nil, additionally receives each row in CSV form the
+	// moment it lands (header at construction, one line per Row). The
+	// table itself retains nothing — CSV rows stream to the writer just
+	// like the rendered table streams to w, so capture stays O(1) however
+	// large the grid. Reports that do not ask for CSV hold nothing.
+	CSVTo io.Writer
 }
 
 // StreamTable renders an aligned text table row by row to an io.Writer.
 // The title, header and separator are written at construction; each
 // Row/FloatRow call appends one fully-rendered line. Nothing is buffered
-// between rows (except the optional CSV capture), so the writer's output
-// is complete up to the last row that landed — the property watch-mode
-// merges rely on to show progress mid-sweep.
+// between rows — the optional CSV capture streams to its own writer the
+// same way — so the writers' output is complete up to the last row that
+// landed: the property watch-mode merges rely on to show progress
+// mid-sweep, and the property that keeps retention O(1) on any grid.
 type StreamTable struct {
 	w      io.Writer
 	widths []int
 	ncols  int
-	csv    *strings.Builder
+	csvW   io.Writer
 }
 
 // NewStreamTable fixes the layout from cfg and writes the table header
@@ -69,15 +72,9 @@ func NewStreamTable(w io.Writer, cfg StreamTableConfig) *StreamTable {
 			widths[i+1] = len(h)
 		}
 	}
-	t := &StreamTable{w: w, widths: widths, ncols: len(cfg.XValues)}
-	if cfg.CaptureCSV {
-		t.csv = &strings.Builder{}
-		t.csv.WriteString(cfg.XLabel)
-		for _, x := range cfg.XValues {
-			t.csv.WriteByte(',')
-			t.csv.WriteString(x)
-		}
-		t.csv.WriteByte('\n')
+	t := &StreamTable{w: w, widths: widths, ncols: len(cfg.XValues), csvW: cfg.CSVTo}
+	if t.csvW != nil {
+		writeCSVLine(t.csvW, cfg.XLabel, cfg.XValues)
 	}
 	if cfg.Title != "" {
 		fmt.Fprintln(w, cfg.Title)
@@ -103,20 +100,37 @@ func (t *StreamTable) writeAligned(name string, values []string) {
 	io.WriteString(t.w, b.String())
 }
 
-// Row writes one row. The number of values must match the headers.
+// writeCSVLine streams one CSV record (name, then values) to w.
+func writeCSVLine(w io.Writer, name string, values []string) error {
+	if _, err := io.WriteString(w, name); err != nil {
+		return err
+	}
+	for _, v := range values {
+		if _, err := io.WriteString(w, ","); err != nil {
+			return err
+		}
+		if _, err := io.WriteString(w, v); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n")
+	return err
+}
+
+// Row writes one row. The number of values must match the headers. When
+// the table streams CSV, a failed CSV write surfaces here (a spool file
+// can hit a full disk; the aligned table keeps the buffered Table's
+// fire-and-forget behaviour).
 func (t *StreamTable) Row(name string, values ...string) error {
 	if len(values) != t.ncols {
 		return fmt.Errorf("metrics: row %q has %d values, table has %d columns",
 			name, len(values), t.ncols)
 	}
 	t.writeAligned(name, values)
-	if t.csv != nil {
-		t.csv.WriteString(name)
-		for _, v := range values {
-			t.csv.WriteByte(',')
-			t.csv.WriteString(v)
+	if t.csvW != nil {
+		if err := writeCSVLine(t.csvW, name, values); err != nil {
+			return fmt.Errorf("metrics: csv stream: %w", err)
 		}
-		t.csv.WriteByte('\n')
 	}
 	return nil
 }
@@ -128,13 +142,4 @@ func (t *StreamTable) FloatRow(name string, values ...float64) error {
 		strs[i] = fmt.Sprintf("%.2f", v)
 	}
 	return t.Row(name, strs...)
-}
-
-// CSV returns the rows captured so far in CSV form (header first);
-// empty unless the table was built with CaptureCSV.
-func (t *StreamTable) CSV() string {
-	if t.csv == nil {
-		return ""
-	}
-	return t.csv.String()
 }

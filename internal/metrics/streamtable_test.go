@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -69,12 +70,12 @@ func TestStreamTableRowErrors(t *testing.T) {
 	}
 }
 
-// TestStreamTableCSVCapture: CSV accumulates exactly the rows written,
-// header first, and stays empty without CaptureCSV.
+// TestStreamTableCSVCapture: the CSV writer receives exactly the rows
+// written, header first, and a table without CSVTo streams nothing.
 func TestStreamTableCSVCapture(t *testing.T) {
-	var b strings.Builder
+	var b, csv strings.Builder
 	tab := NewStreamTable(&b, StreamTableConfig{
-		XLabel: "RUs \\ policy", XValues: []string{"LRU", "LFD"}, CaptureCSV: true,
+		XLabel: "RUs \\ policy", XValues: []string{"LRU", "LFD"}, CSVTo: &csv,
 	})
 	if err := tab.FloatRow("4", 1, 2); err != nil {
 		t.Fatal(err)
@@ -83,15 +84,82 @@ func TestStreamTableCSVCapture(t *testing.T) {
 		t.Fatal(err)
 	}
 	want := "RUs \\ policy,LRU,LFD\n4,1.00,2.00\n5,3.00,4.00\n"
-	if got := tab.CSV(); got != want {
+	if got := csv.String(); got != want {
 		t.Errorf("CSV\n got %q\nwant %q", got, want)
 	}
+}
 
-	plain := NewStreamTable(&strings.Builder{}, StreamTableConfig{XLabel: "x", XValues: []string{"a"}})
-	if err := plain.FloatRow("r", 1); err != nil {
-		t.Fatal(err)
+// countingCSVSink records how many Write calls delivered how many bytes,
+// so a test can prove rows arrive as they land rather than at the end.
+type countingCSVSink struct {
+	sb     strings.Builder
+	writes int
+}
+
+func (c *countingCSVSink) Write(p []byte) (int, error) {
+	c.writes++
+	return c.sb.Write(p)
+}
+
+// TestStreamTableCSVBoundedRetention is the CSV half of the streaming
+// memory gate (the renderer half is TestRowRendererBoundedRetention in
+// internal/sweep): on a grid far larger than one row, every CSV record
+// reaches the sink the moment its Row call returns. The table holds no
+// capture buffer at all — retention is the sink's business — so `-csv`
+// runs carry O(1) state however large the sweep grid.
+func TestStreamTableCSVBoundedRetention(t *testing.T) {
+	const rows = 200
+	sink := &countingCSVSink{}
+	tab := NewStreamTable(&strings.Builder{}, StreamTableConfig{
+		XLabel: "RUs \\ policy", XValues: []string{"LRU", "LFD", "Random"}, CSVTo: sink,
+	})
+	if got, want := sink.sb.String(), "RUs \\ policy,LRU,LFD,Random\n"; got != want {
+		t.Fatalf("header not streamed at construction: %q", got)
 	}
-	if plain.CSV() != "" {
-		t.Error("CSV captured without CaptureCSV")
+	var want strings.Builder
+	want.WriteString("RUs \\ policy,LRU,LFD,Random\n")
+	for i := 0; i < rows; i++ {
+		label := string(rune('a' + i%26))
+		if err := tab.FloatRow(label, float64(i), float64(i)+0.5, float64(i)*2); err != nil {
+			t.Fatal(err)
+		}
+		fmt.Fprintf(&want, "%s,%d.00,%d.50,%d.00\n", label, i, i, i*2)
+		// The defining property: the sink is complete up to this row
+		// *now*, not after some final flush — there is none to call.
+		if sink.sb.String() != want.String() {
+			t.Fatalf("row %d: sink lags the table — capture is buffered, not streamed", i)
+		}
+	}
+	if sink.writes < rows {
+		t.Errorf("sink saw %d writes for %d rows — rows were batched", sink.writes, rows)
+	}
+}
+
+// failingWriter fails every write after the first n.
+type failingWriter struct{ n int }
+
+func (f *failingWriter) Write(p []byte) (int, error) {
+	if f.n <= 0 {
+		return 0, fmt.Errorf("disk full")
+	}
+	f.n--
+	return len(p), nil
+}
+
+// TestStreamTableCSVWriteErrors: a failing CSV sink (spool file on a
+// full disk) surfaces through Row instead of silently truncating the
+// capture.
+func TestStreamTableCSVWriteErrors(t *testing.T) {
+	tab := NewStreamTable(&strings.Builder{}, StreamTableConfig{
+		XLabel: "x", XValues: []string{"a"}, CSVTo: &failingWriter{n: 64},
+	})
+	if err := tab.Row("ok", "1"); err != nil {
+		t.Fatalf("healthy sink: %v", err)
+	}
+	bad := NewStreamTable(&strings.Builder{}, StreamTableConfig{
+		XLabel: "x", XValues: []string{"a"}, CSVTo: &failingWriter{},
+	})
+	if err := bad.Row("r", "1"); err == nil {
+		t.Error("failed CSV write not reported")
 	}
 }

@@ -95,6 +95,29 @@ func Fork(p Policy) Policy {
 	return p
 }
 
+// Resetter is implemented by stateful policies that can rewind their
+// decision state to the initial one in place — the allocation-free
+// counterpart of Forker for sequential reuse. Where Fork hands a fresh
+// instance to a concurrent run, Reset lets a pooled runner reuse one
+// instance across consecutive runs: after Reset the policy replays
+// exactly the decision stream a newly constructed instance would.
+type Resetter interface {
+	Reset()
+}
+
+// Reset rewinds p to its initial decision state and reports whether it
+// was stateful. Stateless policies (every policy here except Random) are
+// trivially "reset"; stateful ones must implement Resetter. A reused
+// runner calls this between runs so back-to-back simulations with one
+// policy instance are byte-identical to simulations with fresh instances.
+func Reset(p Policy) bool {
+	if r, ok := p.(Resetter); ok {
+		r.Reset()
+		return true
+	}
+	return false
+}
+
 // Policy selects replacement victims.
 type Policy interface {
 	// Name identifies the policy in reports (e.g. "Local LFD (2)").
@@ -192,12 +215,14 @@ func (fifo) SelectVictim(req Request, cands []Candidate) Decision {
 
 type random struct {
 	seed int64
+	src  rand.Source
 	rng  *rand.Rand
 }
 
 // NewRandom returns a uniformly random policy seeded for reproducibility.
 func NewRandom(seed int64) Policy {
-	return &random{seed: seed, rng: rand.New(rand.NewSource(seed))}
+	src := rand.NewSource(seed)
+	return &random{seed: seed, src: src, rng: rand.New(src)}
 }
 
 func (*random) Name() string { return "Random" }
@@ -206,6 +231,11 @@ func (*random) Window() int  { return WindowNone }
 // Fork returns an independent Random replaying the same stream from the
 // original seed, so a concurrent run cannot race on the shared generator.
 func (r *random) Fork() Policy { return NewRandom(r.seed) }
+
+// Reset rewinds the generator to the original seed in place — no fresh
+// rand.Rand — so a pooled runner reusing this instance replays the same
+// decision stream as a newly constructed one.
+func (r *random) Reset() { r.src.Seed(r.seed) }
 
 func (r *random) SelectVictim(req Request, cands []Candidate) Decision {
 	c := cands[r.rng.Intn(len(cands))]

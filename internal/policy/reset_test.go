@@ -1,0 +1,70 @@
+package policy
+
+import "testing"
+
+// TestResetRewindsRandom: after Reset, a Random policy replays its
+// decision stream from the original seed — with the same instance, no
+// fresh generator.
+func TestResetRewindsRandom(t *testing.T) {
+	cands := []Candidate{cand(0, 1, 0, 0), cand(1, 2, 0, 0), cand(2, 3, 0, 0)}
+	p := NewRandom(7)
+	first := make([]int, 40)
+	for i := range first {
+		first[i] = p.SelectVictim(Request{}, cands).RU
+	}
+	if !Reset(p) {
+		t.Fatal("Random should report itself stateful on Reset")
+	}
+	for i := range first {
+		if ru := p.SelectVictim(Request{}, cands).RU; ru != first[i] {
+			t.Fatalf("decision %d after Reset: ru=%d, want %d", i, ru, first[i])
+		}
+	}
+}
+
+// TestResetStatelessIsNoOp: stateless policies report false and keep
+// working.
+func TestResetStatelessIsNoOp(t *testing.T) {
+	for _, p := range []Policy{NewLRU(), NewMRU(), NewFIFO(), NewLFD()} {
+		if Reset(p) {
+			t.Errorf("%s claims to be stateful", p.Name())
+		}
+		d := p.SelectVictim(Request{}, []Candidate{cand(0, 1, 0, 0)})
+		if d.Victim != 1 {
+			t.Errorf("%s broken after Reset: victim %d", p.Name(), d.Victim)
+		}
+	}
+}
+
+// TestSelectVictimAllocationFree pins every policy's decision path to
+// zero heap allocations — a victim selection runs inside the manager's
+// hot loop, so a single allocation here multiplies by hundreds of
+// thousands across a sweep.
+func TestSelectVictimAllocationFree(t *testing.T) {
+	cands := []Candidate{
+		cand(0, 1, 6, 0), cand(1, 2, 10, 4), cand(2, 3, 16, 8), cand(3, 4, 20, 12),
+	}
+	look := ids(9, 8, 4, 5, 1, 2, 3, 4, 5, 1, 2, 3)
+	local, err := NewLocalLFD(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Policy{NewLRU(), NewMRU(), NewFIFO(), NewRandom(7), NewLFD(), local} {
+		p := p
+		avg := testing.AllocsPerRun(100, func() {
+			p.SelectVictim(Request{Task: 6, Lookahead: look}, cands)
+		})
+		if avg != 0 {
+			t.Errorf("%s: SelectVictim allocates %.1f times, want 0", p.Name(), avg)
+		}
+	}
+}
+
+// TestResetAllocationFree: rewinding a stateful policy between runs must
+// not allocate either — it happens once per Runner.Reset.
+func TestResetAllocationFree(t *testing.T) {
+	p := NewRandom(3)
+	if avg := testing.AllocsPerRun(100, func() { Reset(p) }); avg != 0 {
+		t.Errorf("Reset allocates %.1f times, want 0", avg)
+	}
+}

@@ -1,0 +1,61 @@
+// Package profiling wires the conventional -cpuprofile / -memprofile
+// CLI flags to runtime/pprof, so every binary in this repo exposes
+// profiling the same way `go test` does. The intended loop — profile a
+// suspect sweep, read the flame graph, fix, re-run the allocation gates
+// — is written up in EXPERIMENTS.md §"Profiling a run".
+package profiling
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the two paths; either may be
+// empty to skip that profile. The returned stop function must run when
+// the program is done (defer it in main): it finishes the CPU profile
+// and, if requested, forces a GC and writes the heap profile — a
+// snapshot of live memory at exit, which for the simulator means the
+// pooled runner state the hot loop retains. Start with both paths empty
+// returns a no-op stop, so callers need no conditional.
+func Start(cpuPath, memPath string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		cpuFile, err = os.Create(cpuPath)
+		if err != nil {
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+		if err := pprof.StartCPUProfile(cpuFile); err != nil {
+			cpuFile.Close()
+			return nil, fmt.Errorf("cpu profile: %w", err)
+		}
+	}
+	return func() error {
+		var errs []error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("cpu profile: %w", err))
+			}
+		}
+		if memPath != "" {
+			// Collect garbage first so the profile shows what the program
+			// keeps, not what the last sweep happened to leave unswept.
+			runtime.GC()
+			f, err := os.Create(memPath)
+			if err != nil {
+				errs = append(errs, fmt.Errorf("heap profile: %w", err))
+			} else {
+				if err := pprof.WriteHeapProfile(f); err != nil {
+					errs = append(errs, fmt.Errorf("heap profile: %w", err))
+				}
+				if err := f.Close(); err != nil {
+					errs = append(errs, fmt.Errorf("heap profile: %w", err))
+				}
+			}
+		}
+		return errors.Join(errs...)
+	}, nil
+}

@@ -1,0 +1,68 @@
+package profiling
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestStartWritesBothProfiles: a full Start/stop cycle leaves two
+// non-empty pprof files behind.
+func TestStartWritesBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU and heap so the profiles have something to say.
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1<<12))
+	}
+	_ = sink
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestStartNoOp: empty paths mean no files and a working no-op stop.
+func TestStartNoOp(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestStartRejectsUnwritableCPUPath: an uncreatable CPU profile path
+// fails Start itself, before any work runs.
+func TestStartRejectsUnwritableCPUPath(t *testing.T) {
+	if _, err := Start(filepath.Join(t.TempDir(), "no", "such", "dir", "cpu.pprof"), ""); err == nil {
+		t.Fatal("Start accepted an uncreatable cpu profile path")
+	}
+}
+
+// TestStopReportsUnwritableMemPath: the heap profile is written at stop
+// time, so its path errors surface there.
+func TestStopReportsUnwritableMemPath(t *testing.T) {
+	stop, err := Start("", filepath.Join(t.TempDir(), "no", "such", "dir", "mem.pprof"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err == nil {
+		t.Error("stop accepted an uncreatable heap profile path")
+	}
+}

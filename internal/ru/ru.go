@@ -56,6 +56,28 @@ func NewArray(n int) (*Array, error) {
 	}, nil
 }
 
+// Reset re-initialises the array to n empty units, reusing the unit
+// storage and the residency index of previous runs where possible. n must
+// be positive. A pooled simulation runner calls this once per run instead
+// of allocating a fresh Array.
+func (a *Array) Reset(n int) error {
+	if n < 1 {
+		return fmt.Errorf("ru: need at least 1 unit, got %d", n)
+	}
+	if n <= cap(a.units) {
+		a.units = a.units[:n]
+		clear(a.units)
+	} else {
+		a.units = make([]Unit, n)
+	}
+	if a.residency == nil {
+		a.residency = make(map[taskgraph.TaskID]int, n)
+	} else {
+		clear(a.residency)
+	}
+	return nil
+}
+
 // Len returns the number of units.
 func (a *Array) Len() int { return len(a.units) }
 
@@ -164,6 +186,16 @@ func NewReconfigurator(latency simtime.Time) (*Reconfigurator, error) {
 		return nil, fmt.Errorf("ru: negative reconfiguration latency %v", latency)
 	}
 	return &Reconfigurator{latency: latency}, nil
+}
+
+// Reset re-initialises the circuitry for a new run with the given
+// per-load latency, clearing the in-flight load and the counters.
+func (r *Reconfigurator) Reset(latency simtime.Time) error {
+	if latency < 0 {
+		return fmt.Errorf("ru: negative reconfiguration latency %v", latency)
+	}
+	*r = Reconfigurator{latency: latency}
+	return nil
 }
 
 // Latency returns the per-load latency.

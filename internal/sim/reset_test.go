@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+// TestEngineReset: a reset engine behaves exactly like a zero-value one —
+// clock at zero, empty queue, cleared counters, same tie-breaking.
+func TestEngineReset(t *testing.T) {
+	var e Engine
+	e.Schedule(simtime.FromMs(5), EndOfExecution, 1, 0)
+	e.Schedule(simtime.FromMs(2), EndOfReconfiguration, 2, 1)
+	e.Pop()
+	e.Reset(8)
+	if e.Len() != 0 || e.Now() != 0 || e.Popped() != 0 {
+		t.Fatalf("after Reset: len=%d now=%v popped=%d", e.Len(), e.Now(), e.Popped())
+	}
+	// Insertion-order tie-breaking restarts from sequence zero.
+	e.Schedule(simtime.FromMs(1), EndOfExecution, 10, 0)
+	e.Schedule(simtime.FromMs(1), EndOfExecution, 11, 1)
+	if ev, _ := e.Pop(); ev.Task != 10 {
+		t.Errorf("first pop task = %d, want 10 (insertion order)", ev.Task)
+	}
+	if ev, _ := e.Pop(); ev.Task != 11 {
+		t.Errorf("second pop task = %d, want 11", ev.Task)
+	}
+}
+
+// TestEngineResetKeepsBackingArray: once grown, a reset engine schedules
+// without allocating.
+func TestEngineResetKeepsBackingArray(t *testing.T) {
+	var e Engine
+	e.Reset(64)
+	avg := testing.AllocsPerRun(20, func() {
+		e.Reset(64)
+		for i := 0; i < 64; i++ {
+			e.Schedule(simtime.FromMs(float64(i)), EndOfExecution, 1, 0)
+		}
+		for {
+			if _, ok := e.Pop(); !ok {
+				break
+			}
+		}
+	})
+	if avg != 0 {
+		t.Errorf("warm schedule/pop cycle allocates %.1f times, want 0", avg)
+	}
+}

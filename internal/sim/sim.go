@@ -84,6 +84,22 @@ type Engine struct {
 	popped  uint64
 }
 
+// Reset rewinds the engine to its zero state — empty queue, clock at
+// zero, popped counter cleared — while keeping the heap's backing array,
+// so a reused engine schedules into warm memory instead of re-growing the
+// queue from nil. capacity is a pre-size hint (typically the task-graph
+// node count plus pending arrivals); the backing array only ever grows.
+func (e *Engine) Reset(capacity int) {
+	if capacity > cap(e.heap) {
+		e.heap = make([]Event, 0, capacity)
+	} else {
+		e.heap = e.heap[:0]
+	}
+	e.now = 0
+	e.nextSeq = 0
+	e.popped = 0
+}
+
 // Now returns the current simulated time: the timestamp of the most
 // recently popped event.
 func (e *Engine) Now() simtime.Time { return e.now }

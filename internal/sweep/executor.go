@@ -223,13 +223,17 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One reusable runner per worker: every scenario this goroutine
+			// simulates runs on the same warm memory (manager.Runner reuse
+			// is byte-identical to a fresh run).
+			runner := manager.NewRunner()
 			for p := range jobs {
 				i := owned[p]
 				var key string
 				if keys != nil {
 					key = keys[i]
 				}
-				res, err := e.runStored(&sp, scenarios[i], ideals, key, stop)
+				res, err := e.runStored(&sp, scenarios[i], ideals, runner, key, stop)
 				completions <- indexedResult{pos: p, res: res, err: err}
 			}
 		}()
@@ -436,7 +440,7 @@ func policyCostWeight(p PolicySpec) float64 {
 // simulates (then writes back) otherwise. key is empty when the sweep
 // runs without a store or the spec is uncacheable; stop is closed once
 // the sweep has failed, after which nothing more is persisted.
-func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key string, stop <-chan struct{}) (*Result, error) {
+func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, runner *manager.Runner, key string, stop <-chan struct{}) (*Result, error) {
 	if key != "" {
 		if e.RequireStored && e.StoreWait != nil {
 			return e.awaitStored(sp, sc, key, stop)
@@ -450,7 +454,7 @@ func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, key strin
 			return nil, fmt.Errorf("not in result store %s (did every shard run?)", e.Store.Dir())
 		}
 	}
-	res, err := runScenario(sp, sc, ideals)
+	res, err := runScenario(sp, sc, ideals, runner)
 	if err != nil || key == "" {
 		return res, err
 	}
@@ -552,9 +556,10 @@ func resultFromEntry(sp *Spec, sc Scenario, ent *resultstore.Entry) *Result {
 	return res
 }
 
-// runScenario simulates one scenario: fresh policy instance, shared
-// mobility tables, shared ideal baseline, summary.
-func runScenario(sp *Spec, sc Scenario, ideals *idealCache) (*Result, error) {
+// runScenario simulates one scenario on the worker's reusable runner:
+// fresh policy instance, shared mobility tables, shared ideal baseline,
+// summary.
+func runScenario(sp *Spec, sc Scenario, ideals *idealCache, runner *manager.Runner) (*Result, error) {
 	pol, err := sc.Policy.New()
 	if err != nil {
 		return nil, err
@@ -581,7 +586,7 @@ func runScenario(sp *Spec, sc Scenario, ideals *idealCache) (*Result, error) {
 	// folding their one-off cost into whichever scenario happened to pay
 	// it would skew the measured dispatch costs of warm re-runs.
 	start := time.Now()
-	run, err := manager.Run(cfg, dynlist.NewSequence(sc.Workload.Seq...))
+	run, err := runner.Run(cfg, dynlist.NewSequence(sc.Workload.Seq...))
 	if err != nil {
 		return nil, err
 	}

@@ -102,8 +102,9 @@ func (t *Trace) Reuses() int {
 //     instance, each task starts no earlier than all its predecessors'
 //     completions.
 //
-// graphs maps instance number → template; it may be nil to skip check 6.
-func (t *Trace) Validate(graphs map[int]*taskgraph.Graph) error {
+// graphs holds the template of each instance, indexed by instance number
+// (nil entries are skipped); it may be nil to skip check 6.
+func (t *Trace) Validate(graphs []*taskgraph.Graph) error {
 	if err := t.validateLoads(); err != nil {
 		return err
 	}
@@ -247,7 +248,7 @@ func (t *Trace) validateSequentialInstances() error {
 	return nil
 }
 
-func (t *Trace) validateDependencies(graphs map[int]*taskgraph.Graph) error {
+func (t *Trace) validateDependencies(graphs []*taskgraph.Graph) error {
 	type key struct {
 		inst int
 		task taskgraph.TaskID
@@ -257,6 +258,9 @@ func (t *Trace) validateDependencies(graphs map[int]*taskgraph.Graph) error {
 		execAt[key{e.Instance, e.Task}] = e
 	}
 	for inst, g := range graphs {
+		if g == nil {
+			continue
+		}
 		for i := 0; i < g.NumTasks(); i++ {
 			e, ok := execAt[key{inst, g.Task(i).ID}]
 			if !ok {

@@ -57,7 +57,7 @@ func TestValidateOK(t *testing.T) {
 	}
 	g1 := taskgraph.Chain("g1", 1, ms(6))
 	tr := validTrace()
-	if err := tr.Validate(map[int]*taskgraph.Graph{0: g, 1: g1}); err != nil {
+	if err := tr.Validate([]*taskgraph.Graph{g, g1}); err != nil {
 		t.Errorf("valid trace rejected: %v", err)
 	}
 	if err := tr.Validate(nil); err != nil {
@@ -133,7 +133,7 @@ func TestValidateCatchesDependencyViolation(t *testing.T) {
 	tr := validTrace()
 	tr.Execs = tr.Execs[:2] // drop instance 1
 	tr.Graphs = tr.Graphs[:1]
-	err = tr.Validate(map[int]*taskgraph.Graph{0: g})
+	err = tr.Validate([]*taskgraph.Graph{g})
 	if err == nil || !strings.Contains(err.Error(), "predecessor") {
 		t.Errorf("want dependency error, got %v", err)
 	}
@@ -142,7 +142,7 @@ func TestValidateCatchesDependencyViolation(t *testing.T) {
 func TestValidateCatchesMissingExecution(t *testing.T) {
 	g := taskgraph.Chain("g", 1, ms(6), ms(4), ms(2))
 	tr := validTrace()
-	err := tr.Validate(map[int]*taskgraph.Graph{0: g})
+	err := tr.Validate([]*taskgraph.Graph{g})
 	if err == nil || !strings.Contains(err.Error(), "never executed") {
 		t.Errorf("want never-executed error, got %v", err)
 	}
