@@ -19,8 +19,8 @@ import (
 	"repro/internal/mobility"
 	"repro/internal/policy"
 	"repro/internal/resultstore"
-	"repro/internal/resultstore/storetest"
 	"repro/internal/simtime"
+	"repro/internal/storetest"
 	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
@@ -337,7 +337,7 @@ func BenchmarkFig9SweepMeasuredDispatch(b *testing.B) {
 				// iteration measures a full re-simulation with hints, not
 				// a warm store serve.
 				b.StopTimer()
-				storetest.StaleifySchema(b, store.Dir())
+				storetest.StaleifySchema(b, store)
 				b.StartTimer()
 				if _, err := bc.ex.RunSummaries(spec); err != nil {
 					b.Fatal(err)

@@ -74,13 +74,13 @@ func main() {
 		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
 		csv      = flag.Bool("csv", false, "also emit CSV after each figure table")
 		parallel = flag.Int("parallel", 0, "concurrently simulated scenarios per experiment (0 = one per CPU; reports are identical at any setting)")
-		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store directory (default: $RTR_STORE); warm re-runs serve unchanged scenarios from disk")
+		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store locator: a directory (or fs:DIR), mem:, or sqlite:FILE.db (default: $RTR_STORE); warm re-runs serve unchanged scenarios from the store")
 		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
 		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
 		shardStr = flag.String("shard", "", "run only shard i/N of every grid experiment into -store (e.g. \"0/2\"); renders no report")
 		merge    = flag.Bool("merge-report", false, "render the report purely from -store (populated by N -shard runs); a missing grid scenario is an error")
 
-		coordDir     = flag.String("coord", "", "shard coordinator state directory: claim, heartbeat and re-lease shards from a self-healing pool into -store; every host runs this same command")
+		coordDir     = flag.String("coord", "", "shard coordinator state locator (a directory, fs:DIR, mem:, or sqlite:FILE.db): claim, heartbeat and re-lease shards from a self-healing pool into -store; every host runs this same command")
 		coordShards  = flag.Int("coord-shards", 0, "total shard count for the -coord pool; the first worker persists it, later workers may omit it (0) or must agree")
 		coordWorkers = flag.Int("coord-workers", 1, "concurrent shard-claim loops inside this process")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
@@ -119,7 +119,11 @@ func main() {
 		if *coordDir == "" {
 			fatal(fmt.Errorf("-coord-status needs a coordinator directory (-coord DIR)"))
 		}
-		c, err := coord.Open(coord.Config{Dir: *coordDir, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
+		back, err := coord.OpenBackend("-coord", *coordDir)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := coord.Open(coord.Config{Backend: back, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
 		if err != nil {
 			fatal(err)
 		}
@@ -127,7 +131,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(st.Render(*coordDir))
+		fmt.Print(st.Render(c.Dir()))
 		return
 	}
 
@@ -162,8 +166,12 @@ func main() {
 		if store == nil {
 			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
 		}
+		back, err := coord.OpenBackend("-coord", *coordDir)
+		if err != nil {
+			fatal(err)
+		}
 		cfg := coord.Config{
-			Dir: *coordDir, Shards: *coordShards,
+			Backend: back, Shards: *coordShards,
 			LeaseTTL: *leaseTTL, Heartbeat: *heartbeat,
 			Fingerprint: coordFingerprint(opt, selected),
 		}

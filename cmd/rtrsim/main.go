@@ -81,13 +81,13 @@ func main() {
 		tick     = flag.Float64("tick", 0, "Gantt: ms per column (0 = auto)")
 		svgOut   = flag.String("svg", "", "write the schedule as SVG to this file (single run only)")
 		traceOut = flag.String("trace", "", "write the execution trace as JSON to this file (single run only)")
-		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store directory (default: $RTR_STORE); re-runs serve unchanged scenarios from disk")
+		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store locator: a directory (or fs:DIR), mem:, or sqlite:FILE.db (default: $RTR_STORE); re-runs serve unchanged scenarios from the store")
 		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
 		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
 		shardStr = flag.String("shard", "", "simulate only shard i/N of the sweep grid into -store (e.g. \"0/2\"); prints no table")
 		merge    = flag.Bool("merge-report", false, "render the sweep table purely from -store (populated by N -shard runs); a missing scenario is an error")
 
-		coordDir     = flag.String("coord", "", "shard coordinator state directory: claim, heartbeat and re-lease sweep shards from a self-healing pool into -store; every host runs this same command")
+		coordDir     = flag.String("coord", "", "shard coordinator state locator (a directory, fs:DIR, mem:, or sqlite:FILE.db): claim, heartbeat and re-lease sweep shards from a self-healing pool into -store; every host runs this same command")
 		coordShards  = flag.Int("coord-shards", 0, "total shard count for the -coord pool; the first worker persists it, later workers may omit it (0) or must agree")
 		coordWorkers = flag.Int("coord-workers", 1, "concurrent shard-claim loops inside this process")
 		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
@@ -126,7 +126,11 @@ func main() {
 		if *coordDir == "" {
 			fatal(fmt.Errorf("-coord-status needs a coordinator directory (-coord DIR)"))
 		}
-		c, err := coord.Open(coord.Config{Dir: *coordDir, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
+		back, err := coord.OpenBackend("-coord", *coordDir)
+		if err != nil {
+			fatal(err)
+		}
+		c, err := coord.Open(coord.Config{Backend: back, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
 		if err != nil {
 			fatal(err)
 		}
@@ -134,7 +138,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		fmt.Print(st.Render(*coordDir))
+		fmt.Print(st.Render(c.Dir()))
 		return
 	}
 
@@ -323,7 +327,8 @@ type sweepOptions struct {
 	coord *coordOptions
 }
 
-// coordOptions carries the -coord* flags into the sweep path.
+// coordOptions carries the -coord* flags into the sweep path. dir is
+// the raw -coord locator (a directory, fs:DIR, mem:, or sqlite:FILE).
 type coordOptions struct {
 	dir            string
 	shards         int
@@ -358,8 +363,12 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 		if err := spec.Cacheable(); err != nil {
 			fatal(fmt.Errorf("-coord: %w", err))
 		}
+		back, err := coord.OpenBackend("-coord", o.coord.dir)
+		if err != nil {
+			fatal(err)
+		}
 		cfg := coord.Config{
-			Dir: o.coord.dir, Shards: o.coord.shards,
+			Backend: back, Shards: o.coord.shards,
 			LeaseTTL: o.coord.ttl, Heartbeat: o.coord.heartbeat,
 			Fingerprint: sweepFingerprint(wl, &spec),
 		}

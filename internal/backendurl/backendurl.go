@@ -1,0 +1,93 @@
+// Package backendurl parses the -store/-coord backend locator syntax
+// shared by cmd/rtrrepro and cmd/rtrsim.
+//
+// A locator is either a bare filesystem path (the historical form,
+// still the default) or a scheme-prefixed form:
+//
+//	.rtr-store            → fs backend rooted at .rtr-store
+//	fs:/mnt/campaign      → fs backend, explicit scheme
+//	mem:                  → in-process memory backend (ephemeral)
+//	sqlite:campaign.db    → single-file campaign database
+//
+// Both CLIs parse through this one package so the scheme set, the
+// error messages, and the path normalization cannot drift between
+// -store and -coord.
+package backendurl
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+)
+
+// Recognized schemes.
+const (
+	SchemeFS     = "fs"
+	SchemeMem    = "mem"
+	SchemeSQLite = "sqlite"
+)
+
+// Locator is a parsed backend reference: which backend family, and the
+// path it is rooted at (empty for mem).
+type Locator struct {
+	Scheme string
+	Path   string
+}
+
+// String renders the canonical form, suitable for reparsing.
+func (l Locator) String() string {
+	return l.Scheme + ":" + l.Path
+}
+
+// looksLikeScheme reports whether raw starts with "<ident>:" where
+// <ident> is alphabetic. This keeps Windows-style "C:\x" and
+// relative paths with colons elsewhere out of the scheme namespace:
+// only all-letter prefixes of length ≥ 2 are treated as schemes.
+func splitScheme(raw string) (scheme, rest string, ok bool) {
+	i := strings.IndexByte(raw, ':')
+	if i < 2 {
+		return "", "", false
+	}
+	for _, r := range raw[:i] {
+		if (r < 'a' || r > 'z') && (r < 'A' || r > 'Z') {
+			return "", "", false
+		}
+	}
+	return strings.ToLower(raw[:i]), raw[i+1:], true
+}
+
+// Parse interprets raw as a backend locator for the named CLI flag
+// (e.g. "-store"). A bare path parses as the fs scheme. Paths are
+// cleaned via filepath.Clean so "a//b/." and "a/b" name one backend;
+// relative paths stay relative (they resolve against the working
+// directory of each process, exactly as the bare-path form always
+// has). Empty raw is an error: callers decide upstream whether an
+// unset flag means "disabled".
+func Parse(flag, raw string) (Locator, error) {
+	if raw == "" {
+		return Locator{}, fmt.Errorf("%s: empty backend locator", flag)
+	}
+	scheme, rest, ok := splitScheme(raw)
+	if !ok {
+		return Locator{Scheme: SchemeFS, Path: filepath.Clean(raw)}, nil
+	}
+	switch scheme {
+	case SchemeFS:
+		if rest == "" {
+			return Locator{}, fmt.Errorf("%s: fs: missing path (want %s:DIR)", flag, SchemeFS)
+		}
+		return Locator{Scheme: SchemeFS, Path: filepath.Clean(rest)}, nil
+	case SchemeMem:
+		if rest != "" {
+			return Locator{}, fmt.Errorf("%s: mem: takes no path (got %q, want mem:)", flag, rest)
+		}
+		return Locator{Scheme: SchemeMem}, nil
+	case SchemeSQLite:
+		if rest == "" {
+			return Locator{}, fmt.Errorf("%s: sqlite: missing path (want %s:FILE.db)", flag, SchemeSQLite)
+		}
+		return Locator{Scheme: SchemeSQLite, Path: filepath.Clean(rest)}, nil
+	default:
+		return Locator{}, fmt.Errorf("%s: unknown backend scheme %q (want fs:, mem:, or sqlite:)", flag, scheme)
+	}
+}

@@ -1,0 +1,350 @@
+// Package campdb implements the single-file campaign database behind
+// the CLIs' `sqlite:path.db` backend scheme: one portable file holding
+// a whole campaign — store objects, coordinator leases, attempt
+// metadata — that can be scp'd between hosts or attached to a CI run
+// as a single artifact.
+//
+// The container this repo builds in has no SQL driver and the module
+// deliberately has zero dependencies, so the file format is a
+// stdlib-only append-only record log rather than a real SQLite
+// database; the scheme name pins the CLI contract (one campaign, one
+// file) and a driver-backed implementation can later replace this
+// package behind the same locator syntax. The format:
+//
+//	header  : 12 bytes, "rtrcampdb1\x00\x00"
+//	record  : crc32(IEEE, of everything after it)  uint32 LE
+//	          flags                                1 byte (bit0 = tombstone)
+//	          len(bucket)                          1 byte
+//	          len(key)                             uint16 LE
+//	          len(value)                           uint32 LE
+//	          bucket ‖ key ‖ value
+//
+// Records are grouped into buckets ("object" for store entries,
+// "coord" for coordinator state) so one file can serve -store and
+// -coord simultaneously. The latest record for a (bucket, key) wins;
+// a tombstone record deletes the key. Readers keep an in-memory index
+// of offsets and re-scan only the file's new tail on each operation,
+// so concurrent processes observe each other's writes (the watch-merge
+// path polls through this).
+//
+// Multi-process safety comes from flock(2): every append holds an
+// exclusive lock, every refresh a shared lock. A crashed writer can
+// leave a torn record at EOF; the next writer (under the exclusive
+// lock, where no live writer can exist) truncates the torn tail and
+// appends from the last valid record. CRCs make torn or bit-rotted
+// tails detectable rather than silently corrupting the index.
+package campdb
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"sort"
+	"sync"
+)
+
+const (
+	magic      = "rtrcampdb1\x00\x00"
+	recHdrLen  = 4 + 1 + 1 + 2 + 4
+	flagDelete = 1 << 0
+	// maxValueLen bounds a single value so a corrupt length field
+	// cannot demand a multi-gigabyte allocation; store entries are
+	// a few KB of JSON.
+	maxValueLen = 1 << 28
+)
+
+// ErrExist is returned by Create when the key already holds a value.
+var ErrExist = errors.New("campdb: key exists")
+
+// ErrNotExist is returned by Get when the key holds no value.
+var ErrNotExist = errors.New("campdb: key does not exist")
+
+type ref struct {
+	off  int64 // offset of the value bytes within the file
+	vlen uint32
+}
+
+// DB is one handle on a campaign database file. A handle is safe for
+// concurrent use by multiple goroutines, and distinct handles (in this
+// or other processes) on the same file stay coherent through flock +
+// tail re-scanning.
+type DB struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	scanned int64          // offset up to which the index reflects the file
+	idx     map[string]ref // bucket+"\x00"+key → latest live value
+}
+
+// Open opens (creating if absent) the database at path.
+func Open(path string) (*DB, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("campdb: %w", err)
+	}
+	d := &DB{f: f, path: path, scanned: int64(len(magic)), idx: make(map[string]ref)}
+	if err := d.initHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// initHeader writes the magic header into an empty file, or verifies
+// it in a non-empty one. Two processes may race to create the file;
+// the exclusive lock makes exactly one write the header.
+func (d *DB) initHeader() error {
+	if err := flock(d.f, true); err != nil {
+		return err
+	}
+	defer funlock(d.f)
+	st, err := d.f.Stat()
+	if err != nil {
+		return fmt.Errorf("campdb: %w", err)
+	}
+	if st.Size() == 0 {
+		if _, err := d.f.WriteAt([]byte(magic), 0); err != nil {
+			return fmt.Errorf("campdb: write header: %w", err)
+		}
+		return nil
+	}
+	hdr := make([]byte, len(magic))
+	if _, err := io.ReadFull(io.NewSectionReader(d.f, 0, int64(len(magic))), hdr); err != nil || string(hdr) != magic {
+		return fmt.Errorf("campdb: %s is not a campaign database (bad header)", d.path)
+	}
+	return nil
+}
+
+// Close releases the file handle. In-flight operations on other
+// handles are unaffected.
+func (d *DB) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.f.Close()
+}
+
+// Path returns the file the database lives in.
+func (d *DB) Path() string { return d.path }
+
+func ikey(bucket, key string) string { return bucket + "\x00" + key }
+
+// scanLocked advances the index over records appended since the last
+// scan. It stops (without error) at a torn tail: under a shared lock
+// that tail may be a live writer mid-append; under the exclusive lock
+// the caller may truncate it via d.scanned. Call with d.mu held and
+// the file locked.
+func (d *DB) scanLocked() error {
+	st, err := d.f.Stat()
+	if err != nil {
+		return fmt.Errorf("campdb: %w", err)
+	}
+	size := st.Size()
+	if size < d.scanned {
+		// The file shrank under us (external truncation/replacement):
+		// rebuild from scratch.
+		d.scanned = int64(len(magic))
+		d.idx = make(map[string]ref)
+	}
+	hdr := make([]byte, recHdrLen)
+	for d.scanned+recHdrLen <= size {
+		if _, err := d.f.ReadAt(hdr, d.scanned); err != nil {
+			return fmt.Errorf("campdb: read record header: %w", err)
+		}
+		crc := binary.LittleEndian.Uint32(hdr[0:4])
+		flags := hdr[4]
+		blen := int(hdr[5])
+		klen := int(binary.LittleEndian.Uint16(hdr[6:8]))
+		vlen := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		if vlen > maxValueLen {
+			return nil // corrupt length: treat as torn tail
+		}
+		recLen := int64(recHdrLen + blen + klen + vlen)
+		if d.scanned+recLen > size {
+			return nil // torn tail
+		}
+		body := make([]byte, recLen-4)
+		if _, err := d.f.ReadAt(body, d.scanned+4); err != nil {
+			return fmt.Errorf("campdb: read record: %w", err)
+		}
+		if crc32.ChecksumIEEE(body) != crc {
+			return nil // torn or rotted tail
+		}
+		bucket := string(body[recHdrLen-4 : recHdrLen-4+blen])
+		key := string(body[recHdrLen-4+blen : recHdrLen-4+blen+klen])
+		if flags&flagDelete != 0 {
+			delete(d.idx, ikey(bucket, key))
+		} else {
+			d.idx[ikey(bucket, key)] = ref{
+				off:  d.scanned + int64(recHdrLen+blen+klen),
+				vlen: uint32(vlen),
+			}
+		}
+		d.scanned += recLen
+	}
+	return nil
+}
+
+// refreshLocked brings the index up to date under a shared lock.
+func (d *DB) refreshLocked() error {
+	if err := flock(d.f, false); err != nil {
+		return err
+	}
+	defer funlock(d.f)
+	return d.scanLocked()
+}
+
+// appendLocked writes one record at the scanned frontier. Caller holds
+// d.mu and the exclusive lock, with scanLocked already run (so
+// d.scanned is the end of valid data; anything beyond is a torn tail
+// this write may overwrite).
+func (d *DB) appendLocked(flags byte, bucket, key string, val []byte) error {
+	if len(bucket) > 255 {
+		return fmt.Errorf("campdb: bucket name too long (%d bytes)", len(bucket))
+	}
+	if len(key) > 1<<16-1 {
+		return fmt.Errorf("campdb: key too long (%d bytes)", len(key))
+	}
+	if len(val) > maxValueLen {
+		return fmt.Errorf("campdb: value too large (%d bytes)", len(val))
+	}
+	rec := make([]byte, recHdrLen+len(bucket)+len(key)+len(val))
+	rec[4] = flags
+	rec[5] = byte(len(bucket))
+	binary.LittleEndian.PutUint16(rec[6:8], uint16(len(key)))
+	binary.LittleEndian.PutUint32(rec[8:12], uint32(len(val)))
+	copy(rec[recHdrLen:], bucket)
+	copy(rec[recHdrLen+len(bucket):], key)
+	copy(rec[recHdrLen+len(bucket)+len(key):], val)
+	binary.LittleEndian.PutUint32(rec[0:4], crc32.ChecksumIEEE(rec[4:]))
+	if _, err := d.f.WriteAt(rec, d.scanned); err != nil {
+		return fmt.Errorf("campdb: append: %w", err)
+	}
+	if flags&flagDelete != 0 {
+		delete(d.idx, ikey(bucket, key))
+	} else {
+		d.idx[ikey(bucket, key)] = ref{
+			off:  d.scanned + int64(recHdrLen+len(bucket)+len(key)),
+			vlen: uint32(len(val)),
+		}
+	}
+	d.scanned += int64(len(rec))
+	return nil
+}
+
+// withAppendLock runs fn with the exclusive lock held and the index
+// current; any torn tail left by a crashed writer is truncated first
+// (no live writer can exist while we hold the exclusive lock).
+func (d *DB) withAppendLock(fn func() error) error {
+	if err := flock(d.f, true); err != nil {
+		return err
+	}
+	defer funlock(d.f)
+	if err := d.scanLocked(); err != nil {
+		return err
+	}
+	if st, err := d.f.Stat(); err == nil && st.Size() > d.scanned {
+		if err := d.f.Truncate(d.scanned); err != nil {
+			return fmt.Errorf("campdb: truncate torn tail: %w", err)
+		}
+	}
+	return fn()
+}
+
+// Get returns the latest value for (bucket, key), or ErrNotExist.
+// The returned slice is freshly allocated.
+func (d *DB) Get(bucket, key string) ([]byte, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.refreshLocked(); err != nil {
+		return nil, err
+	}
+	r, ok := d.idx[ikey(bucket, key)]
+	if !ok {
+		return nil, ErrNotExist
+	}
+	// Complete records are immutable (truncation only ever removes a
+	// torn tail), so this read needs no lock.
+	val := make([]byte, r.vlen)
+	if _, err := d.f.ReadAt(val, r.off); err != nil {
+		return nil, fmt.Errorf("campdb: read value: %w", err)
+	}
+	return val, nil
+}
+
+// Put stores val under (bucket, key), overwriting any prior value.
+func (d *DB) Put(bucket, key string, val []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.withAppendLock(func() error {
+		return d.appendLocked(0, bucket, key, val)
+	})
+}
+
+// Create stores val under (bucket, key) only if the key holds no
+// value, returning ErrExist otherwise. This is the atomic claim
+// primitive: under the exclusive lock, exactly one contender wins.
+func (d *DB) Create(bucket, key string, val []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.withAppendLock(func() error {
+		if _, ok := d.idx[ikey(bucket, key)]; ok {
+			return ErrExist
+		}
+		return d.appendLocked(0, bucket, key, val)
+	})
+}
+
+// Delete removes (bucket, key). Deleting an absent key is a no-op.
+func (d *DB) Delete(bucket, key string) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.withAppendLock(func() error {
+		if _, ok := d.idx[ikey(bucket, key)]; !ok {
+			return nil
+		}
+		return d.appendLocked(flagDelete, bucket, key, nil)
+	})
+}
+
+// Keys returns the live keys in bucket, sorted.
+func (d *DB) Keys(bucket string) ([]string, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.refreshLocked(); err != nil {
+		return nil, err
+	}
+	prefix := bucket + "\x00"
+	var keys []string
+	for ik := range d.idx {
+		if len(ik) > len(prefix) && ik[:len(prefix)] == prefix {
+			keys = append(keys, ik[len(prefix):])
+		}
+	}
+	sort.Strings(keys)
+	return keys, nil
+}
+
+// Visit calls fn for every live (key, value) in bucket, in sorted key
+// order. fn's value slice is owned by fn.
+func (d *DB) Visit(bucket string, fn func(key string, val []byte) error) error {
+	keys, err := d.Keys(bucket)
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		val, err := d.Get(bucket, k)
+		if errors.Is(err, ErrNotExist) {
+			continue // deleted between snapshot and read
+		}
+		if err != nil {
+			return err
+		}
+		if err := fn(k, val); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package campdb
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openTest(t *testing.T) *DB {
+	t.Helper()
+	d, err := Open(filepath.Join(t.TempDir(), "c.db"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { d.Close() })
+	return d
+}
+
+func TestRoundTrip(t *testing.T) {
+	d := openTest(t)
+	if _, err := d.Get("object", "k"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("Get on empty db: %v", err)
+	}
+	if err := d.Put("object", "k", []byte("v1")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := d.Get("object", "k"); err != nil || string(got) != "v1" {
+		t.Fatalf("Get = %q, %v", got, err)
+	}
+	// Last write wins.
+	if err := d.Put("object", "k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := d.Get("object", "k"); string(got) != "v2" {
+		t.Fatalf("after overwrite Get = %q", got)
+	}
+	// Buckets are disjoint namespaces.
+	if _, err := d.Get("coord", "k"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("bucket leak: %v", err)
+	}
+}
+
+func TestCreateIsSetIfAbsent(t *testing.T) {
+	d := openTest(t)
+	if err := d.Create("coord", "claim", []byte("a")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create("coord", "claim", []byte("b")); !errors.Is(err, ErrExist) {
+		t.Fatalf("second Create: %v", err)
+	}
+	if got, _ := d.Get("coord", "claim"); string(got) != "a" {
+		t.Fatalf("loser overwrote winner: %q", got)
+	}
+	// Delete frees the key for a fresh Create.
+	if err := d.Delete("coord", "claim"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Create("coord", "claim", []byte("c")); err != nil {
+		t.Fatalf("Create after Delete: %v", err)
+	}
+}
+
+func TestDeleteAndVisit(t *testing.T) {
+	d := openTest(t)
+	for i := 0; i < 5; i++ {
+		if err := d.Put("object", fmt.Sprintf("k%d", i), []byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := d.Delete("object", "k2"); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("object", "never-existed"); err != nil {
+		t.Fatalf("deleting absent key: %v", err)
+	}
+	var seen []string
+	err := d.Visit("object", func(k string, v []byte) error {
+		seen = append(seen, k)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"k0", "k1", "k3", "k4"}
+	if len(seen) != len(want) {
+		t.Fatalf("Visit saw %v, want %v", seen, want)
+	}
+	for i := range want {
+		if seen[i] != want[i] {
+			t.Fatalf("Visit order %v, want sorted %v", seen, want)
+		}
+	}
+}
+
+// TestSecondHandleSeesWrites is the watch-merge property: a reader
+// handle opened before a writer's Put still observes it (refresh on
+// read), as two CLI processes sharing one campaign file must.
+func TestSecondHandleSeesWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	w, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	r, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if _, err := r.Get("object", "k"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("premature visibility: %v", err)
+	}
+	if err := w.Put("object", "k", []byte("shared")); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := r.Get("object", "k"); err != nil || string(got) != "shared" {
+		t.Fatalf("second handle Get = %q, %v", got, err)
+	}
+	// And claims contend correctly across handles.
+	if err := w.Create("coord", "c", []byte("w")); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Create("coord", "c", []byte("r")); !errors.Is(err, ErrExist) {
+		t.Fatalf("cross-handle Create: %v", err)
+	}
+}
+
+func TestReopenPersists(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("object", "k", []byte("survives")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Delete("object", "gone"); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, err := d2.Get("object", "k"); err != nil || string(got) != "survives" {
+		t.Fatalf("after reopen Get = %q, %v", got, err)
+	}
+}
+
+// TestTornTailRecovered simulates a writer killed mid-append: bytes of
+// a partial record at EOF. Reads must stop at the last valid record;
+// the next append must truncate the torn tail and land cleanly.
+func TestTornTailRecovered(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("object", "good", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0x00, 0x03}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, err := d2.Get("object", "good"); err != nil || string(got) != "ok" {
+		t.Fatalf("Get over torn tail = %q, %v", got, err)
+	}
+	if err := d2.Put("object", "after", []byte("recovered")); err != nil {
+		t.Fatal(err)
+	}
+	// Reopen once more: both records must decode, the garbage is gone.
+	d2.Close()
+	d3, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d3.Close()
+	for k, want := range map[string]string{"good": "ok", "after": "recovered"} {
+		if got, err := d3.Get("object", k); err != nil || string(got) != want {
+			t.Fatalf("Get(%s) = %q, %v", k, got, err)
+		}
+	}
+}
+
+// TestCorruptTailCRC: a full-length record whose payload was bit-rotted
+// must be rejected by its CRC, not admitted to the index.
+func TestCorruptTailCRC(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	d, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("object", "good", []byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Put("object", "victim", []byte("xx")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	// Flip a bit in the last record's value bytes.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if got, err := d2.Get("object", "good"); err != nil || string(got) != "ok" {
+		t.Fatalf("Get(good) = %q, %v", got, err)
+	}
+	if _, err := d2.Get("object", "victim"); !errors.Is(err, ErrNotExist) {
+		t.Fatalf("rotted record admitted: %v", err)
+	}
+}
+
+func TestNotADatabase(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	if err := os.WriteFile(path, []byte("this is not a campaign db"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(path); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+// TestConcurrentHandles hammers one file from several handles and
+// goroutines (run under -race in CI): every Create has exactly one
+// winner, every Put is eventually visible.
+func TestConcurrentHandles(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "c.db")
+	const handles, keys = 4, 16
+	dbs := make([]*DB, handles)
+	for i := range dbs {
+		d, err := Open(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer d.Close()
+		dbs[i] = d
+	}
+	wins := make([]int, keys)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for h, d := range dbs {
+		wg.Add(1)
+		go func(h int, d *DB) {
+			defer wg.Done()
+			for k := 0; k < keys; k++ {
+				key := fmt.Sprintf("claim-%02d", k)
+				err := d.Create("coord", key, []byte{byte(h)})
+				switch {
+				case err == nil:
+					mu.Lock()
+					wins[k]++
+					mu.Unlock()
+				case errors.Is(err, ErrExist):
+				default:
+					t.Errorf("Create: %v", err)
+				}
+				if err := d.Put("object", fmt.Sprintf("h%d-k%d", h, k), []byte("v")); err != nil {
+					t.Errorf("Put: %v", err)
+				}
+			}
+		}(h, d)
+	}
+	wg.Wait()
+	for k, n := range wins {
+		if n != 1 {
+			t.Errorf("claim %d won %d times, want exactly 1", k, n)
+		}
+	}
+	keysSeen, err := dbs[0].Keys("object")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keysSeen) != handles*keys {
+		t.Errorf("saw %d object keys, want %d", len(keysSeen), handles*keys)
+	}
+}

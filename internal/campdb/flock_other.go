@@ -1,0 +1,12 @@
+//go:build !unix
+
+package campdb
+
+import "os"
+
+// Non-unix platforms get no cross-process advisory locking: a single
+// process (the common CI and laptop case) is still fully serialized by
+// DB.mu, but concurrent processes sharing one file are unsupported.
+func flock(*os.File, bool) error { return nil }
+
+func funlock(*os.File) {}

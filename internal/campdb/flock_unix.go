@@ -1,0 +1,32 @@
+//go:build unix
+
+package campdb
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// flock takes a shared (ex=false) or exclusive (ex=true) advisory lock
+// on f, blocking until granted. funlock releases it. Locks coordinate
+// handles across processes; within a process d.mu already serializes.
+func flock(f *os.File, ex bool) error {
+	how := syscall.LOCK_SH
+	if ex {
+		how = syscall.LOCK_EX
+	}
+	for {
+		err := syscall.Flock(int(f.Fd()), how)
+		if err == nil {
+			return nil
+		}
+		if err != syscall.EINTR {
+			return fmt.Errorf("campdb: flock: %w", err)
+		}
+	}
+}
+
+func funlock(f *os.File) {
+	_ = syscall.Flock(int(f.Fd()), syscall.LOCK_UN)
+}

@@ -24,15 +24,26 @@
 // executions wrote the same store entries, so completion by either is
 // completion.
 //
-// Layout under the coordinator directory:
+// Layout under the coordinator directory (these are also the logical
+// keys every Backend stores — the protocol state is identical whether
+// it lives in files, memory or a campaign database):
 //
 //	coordinator.json       shard count + lease TTL + sweep fingerprint
-//	                       (O_EXCL by the first worker; later workers
-//	                       verify or adopt all three)
+//	                       (exclusive create by the first worker; later
+//	                       workers verify or adopt all three)
 //	shard-0007/
-//	  gen-0001.claim       generation claim marker, O_EXCL create
-//	  lease.json           current owner + heartbeat (atomic rename)
+//	  gen-0001.claim       generation claim marker, exclusive create
+//	  lease.json           current owner + heartbeat (atomic overwrite)
 //	  done.json            completion record (owner, attempts, when)
+//
+// Persistence is pluggable: the protocol runs over a Backend (Get/Put/
+// exclusive-Create/List plus the pool clock). The default FSBackend is
+// the historical on-disk format above, byte for byte; MemBackend backs
+// fake-clock -race tests and ephemeral single-process pools; and
+// SQLiteBackend puts the pool state in the same single-file campaign
+// database the result store can use (`-coord sqlite:FILE.db`).
+// internal/coordtest runs the shared conformance suite against all of
+// them.
 //
 // The same evidence drives the merge side of the pipeline: a watch-mode
 // merge (the CLIs' `-coord … -merge-report -watch`) renders the report
@@ -48,12 +59,10 @@
 package coord
 
 import (
-	"encoding/json"
 	"errors"
 	"fmt"
 	"io/fs"
 	"os"
-	"path/filepath"
 	"strconv"
 	"strings"
 	"time"
@@ -79,8 +88,14 @@ const DefaultLeaseTTL = 30 * time.Second
 type Config struct {
 	// Dir is the coordinator state directory, shared by every worker of
 	// the sweep (for multi-host pools: on the same shared filesystem as
-	// the result store).
+	// the result store). Ignored when Backend is set.
 	Dir string
+	// Backend, when non-nil, is the persistence substrate the pool
+	// state lives in (and the pool's clock); nil means the default
+	// filesystem backend over Dir. Coordinators of one pool must use
+	// backends over the same state: the same directory or campaign
+	// file, or the very same MemBackend instance.
+	Backend Backend
 	// Shards is the total shard count. The first worker to open the
 	// directory persists it; later workers may pass 0 to adopt the
 	// existing count, and a non-zero mismatch is an error.
@@ -108,21 +123,23 @@ type Config struct {
 	// coordinator before they waste hours populating a store the merge
 	// will reject.
 	Fingerprint string
-
-	// now overrides the clock in tests; nil means time.Now.
-	now func() time.Time
 }
 
-// Coordinator hands out shard leases from a state directory. Safe for
-// concurrent use by any number of goroutines and processes.
+// Coordinator hands out shard leases from a backend's pool state. Safe
+// for concurrent use by any number of goroutines and processes.
 type Coordinator struct {
-	dir       string
+	b         Backend
 	shards    int
 	ttl       time.Duration
 	heartbeat time.Duration
 	owner     string
-	now       func() time.Time
 }
+
+// now is the pool clock: every lease-expiry decision — claiming,
+// Status, CheckDrained, LastActivity clamping — reads it, and it comes
+// from the backend so fake-clock tests drive the exact production
+// arithmetic.
+func (c *Coordinator) now() time.Time { return c.b.Now() }
 
 // stateFile is coordinator.json: the pool-wide constants every worker
 // must agree on.
@@ -161,19 +178,25 @@ type doneFile struct {
 	ElapsedNS  int64  `json:"elapsed_ns"`
 }
 
-// Open creates or joins the coordinator state directory. See Config for
-// the initialise-vs-adopt rules.
+// stateKey is the pool-constants record every worker must agree on.
+const stateKey = "coordinator.json"
+
+// Open creates or joins the coordinator pool state. See Config for the
+// initialise-vs-adopt rules.
 func Open(cfg Config) (*Coordinator, error) {
-	if cfg.Dir == "" {
-		return nil, errors.New("coord: empty coordinator directory")
+	b := cfg.Backend
+	if b == nil {
+		if cfg.Dir == "" {
+			return nil, errors.New("coord: empty coordinator directory")
+		}
+		b = NewFS(cfg.Dir)
 	}
 	if cfg.Shards < 0 {
 		return nil, fmt.Errorf("coord: shard count %d < 0", cfg.Shards)
 	}
 	c := &Coordinator{
-		dir:   cfg.Dir,
+		b:     b,
 		owner: cfg.Owner,
-		now:   cfg.now,
 	}
 	if c.owner == "" {
 		host, err := os.Hostname()
@@ -182,18 +205,11 @@ func Open(cfg Config) (*Coordinator, error) {
 		}
 		c.owner = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
-	if c.now == nil {
-		c.now = time.Now
-	}
-	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
-		return nil, fmt.Errorf("coord: %w", err)
-	}
 
-	statePath := filepath.Join(cfg.Dir, "coordinator.json")
-	state, err := readJSON[stateFile](statePath)
+	state, err := getJSON[stateFile](b, stateKey)
 	if errors.Is(err, fs.ErrNotExist) {
 		if cfg.Shards == 0 {
-			return nil, fmt.Errorf("%w: %s — the first worker must pass the shard count", ErrUninitialised, cfg.Dir)
+			return nil, fmt.Errorf("%w: %s — the first worker must pass the shard count", ErrUninitialised, c.Dir())
 		}
 		ttl := cfg.LeaseTTL
 		if ttl <= 0 {
@@ -206,17 +222,17 @@ func Open(cfg Config) (*Coordinator, error) {
 			CreatedBy:   c.owner,
 			CreatedNS:   c.now().UnixNano(),
 		}
-		err = writeJSONExcl(statePath, state)
+		err = createJSON(b, stateKey, state)
 		if errors.Is(err, fs.ErrExist) {
 			// Two first workers raced; adopt the winner's state below.
-			state, err = readJSON[stateFile](statePath)
+			state, err = getJSON[stateFile](b, stateKey)
 		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("coord: %w", err)
 	}
 	if state.Shards < 1 {
-		return nil, fmt.Errorf("coord: %s records %d shards — corrupt state", statePath, state.Shards)
+		return nil, fmt.Errorf("coord: %s in %s records %d shards — corrupt state", stateKey, c.Dir(), state.Shards)
 	}
 	if cfg.Shards != 0 && cfg.Shards != state.Shards {
 		return nil, fmt.Errorf("coord: shard count %d does not match the coordinator's %d (initialised by %s) — every worker of one pool must agree",
@@ -224,7 +240,7 @@ func Open(cfg Config) (*Coordinator, error) {
 	}
 	if cfg.Fingerprint != "" && state.Fingerprint != "" && cfg.Fingerprint != state.Fingerprint {
 		return nil, fmt.Errorf("coord: sweep fingerprint mismatch with %s (initialised by %s): this worker was launched with different experiment parameters than the pool",
-			cfg.Dir, state.CreatedBy)
+			c.Dir(), state.CreatedBy)
 	}
 	c.shards = state.Shards
 	// The TTL is pool-wide state, exactly like the shard count: expiry
@@ -262,12 +278,26 @@ func (c *Coordinator) LeaseTTL() time.Duration { return c.ttl }
 // cadence for watchers polling the pool's state.
 func (c *Coordinator) HeartbeatInterval() time.Duration { return c.heartbeat }
 
-// Dir returns the coordinator state directory.
-func (c *Coordinator) Dir() string { return c.dir }
+// Dir returns the pool state's location: the state directory for the
+// fs backend, the locator ("mem:", "sqlite:FILE") otherwise. The name
+// is historical; treat it as a display string, not necessarily a path.
+func (c *Coordinator) Dir() string { return c.b.Location() }
 
-func (c *Coordinator) shardDir(shard int) string {
-	return filepath.Join(c.dir, fmt.Sprintf("shard-%04d", shard))
+// Backend exposes the persistence substrate, for conformance tooling
+// and callers sharing one backend across Coordinator handles.
+func (c *Coordinator) Backend() Backend { return c.b }
+
+// shardKey is the logical key prefix of one shard's records.
+func shardKey(shard int) string {
+	return fmt.Sprintf("shard-%04d", shard)
 }
+
+func claimKey(shard, gen int) string {
+	return fmt.Sprintf("shard-%04d/gen-%04d.claim", shard, gen)
+}
+
+func leaseKey(shard int) string { return shardKey(shard) + "/lease.json" }
+func doneKey(shard int) string  { return shardKey(shard) + "/done.json" }
 
 // Lease is one claimed (shard, generation): the holder runs the shard's
 // slice, heartbeats, and marks it done.
@@ -305,7 +335,6 @@ func (c *Coordinator) Claim() (*Lease, error) {
 // generation's heartbeat (falling back to the claim timestamp when the
 // claimer died before writing a lease) is older than the TTL.
 func (c *Coordinator) tryShard(shard int) (*Lease, error) {
-	dir := c.shardDir(shard)
 	ins, err := c.inspect(shard)
 	if err != nil {
 		return nil, err
@@ -320,11 +349,8 @@ func (c *Coordinator) tryShard(shard int) (*Lease, error) {
 		}
 		gen = ins.topGen + 1
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("coord: %w", err)
-	}
 	claim := claimFile{Owner: c.owner, ClaimedNS: c.now().UnixNano()}
-	err = writeJSONExcl(filepath.Join(dir, fmt.Sprintf("gen-%04d.claim", gen)), &claim)
+	err = createJSON(c.b, claimKey(shard, gen), &claim)
 	if errors.Is(err, fs.ErrExist) {
 		return nil, nil // lost the race for this generation; shard is taken
 	}
@@ -354,17 +380,15 @@ type inspection struct {
 }
 
 func (c *Coordinator) inspect(shard int) (*inspection, error) {
-	dir := c.shardDir(shard)
 	var ins inspection
-	entries, err := os.ReadDir(dir)
+	names, err := c.b.List(shardKey(shard))
 	if errors.Is(err, fs.ErrNotExist) {
 		return &ins, nil
 	}
 	if err != nil {
 		return nil, fmt.Errorf("coord: %w", err)
 	}
-	for _, ent := range entries {
-		name := ent.Name()
+	for _, name := range names {
 		if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".claim") {
 			continue
 		}
@@ -378,30 +402,38 @@ func (c *Coordinator) inspect(shard int) (*inspection, error) {
 		// A claim marker that fails to decode still proves the generation
 		// exists; its zero timestamp just makes the lease look expired,
 		// which is the safe direction (re-claim, idempotent re-run).
-		ins.topClaim, _ = readJSON[claimFile](filepath.Join(dir, fmt.Sprintf("gen-%04d.claim", ins.topGen)))
+		ins.topClaim, _ = getJSON[claimFile](c.b, claimKey(shard, ins.topGen))
 		if ins.topClaim != nil {
 			ins.lastBeat = time.Unix(0, ins.topClaim.ClaimedNS)
 		}
 	}
-	if l, err := readJSON[leaseFile](filepath.Join(dir, "lease.json")); err == nil && l.Gen == ins.topGen {
+	if l, err := getJSON[leaseFile](c.b, leaseKey(shard)); err == nil && l.Gen == ins.topGen {
 		ins.lease = l
 		if hb := time.Unix(0, l.HeartbeatNS); hb.After(ins.lastBeat) {
 			ins.lastBeat = hb
 		}
 	}
-	// Timestamps come from other hosts' clocks. Skew within one TTL just
-	// shifts expiry by the skew (stall bounded by 2×TTL); a heartbeat
-	// further in the future than one TTL can only be a broken clock, and
-	// trusting it would block recovery of a dead shard for the whole
-	// skew — treat it as already expired instead. Worst case, a live
-	// worker with that broken clock has its slice re-run concurrently:
-	// idempotent duplicate work, never corruption. Backward skew only
-	// expires leases early, with the same bounded cost.
-	if ins.lastBeat.After(c.now().Add(c.ttl)) {
-		ins.lastBeat = time.Time{}
-	}
-	ins.done, _ = readJSON[doneFile](filepath.Join(dir, "done.json"))
+	ins.lastBeat = c.clampFuture(ins.lastBeat, c.now())
+	ins.done, _ = getJSON[doneFile](c.b, doneKey(shard))
 	return &ins, nil
+}
+
+// clampFuture is the one clock-skew rule every LastActivity and expiry
+// decision shares. Timestamps come from other hosts' clocks: skew
+// within one TTL just shifts expiry by the skew (stall bounded by
+// 2×TTL), but evidence of life further in the future than one TTL can
+// only be a broken clock, and trusting it would block recovery of a
+// dead shard — or keep a dead pool looking alive to CheckDrained — for
+// the whole skew. Treat it as no evidence at all (zero time, already
+// expired). Worst case, a live worker with that broken clock has its
+// slice re-run concurrently: idempotent duplicate work, never
+// corruption. Backward skew only expires leases early, with the same
+// bounded cost.
+func (c *Coordinator) clampFuture(t, now time.Time) time.Time {
+	if t.After(now.Add(c.ttl)) {
+		return time.Time{}
+	}
+	return t
 }
 
 // writeLease publishes (or refreshes) the lease file for this holder's
@@ -412,10 +444,10 @@ func (l *Lease) writeLease() error {
 		Shard: l.Shard, Gen: l.Gen, Owner: l.c.owner,
 		HeartbeatNS: now, StartedNS: now,
 	}
-	if prev, err := readJSON[leaseFile](filepath.Join(l.c.shardDir(l.Shard), "lease.json")); err == nil && prev.Gen == l.Gen {
+	if prev, err := getJSON[leaseFile](l.c.b, leaseKey(l.Shard)); err == nil && prev.Gen == l.Gen {
 		lf.StartedNS = prev.StartedNS
 	}
-	if err := writeJSONRename(filepath.Join(l.c.shardDir(l.Shard), "lease.json"), &lf); err != nil {
+	if err := putJSON(l.c.b, leaseKey(l.Shard), &lf); err != nil {
 		return fmt.Errorf("coord: lease shard %d: %w", l.Shard, err)
 	}
 	return nil
@@ -442,23 +474,22 @@ func (l *Lease) Heartbeat() error {
 // take-over) are no-ops — by then the store holds the shard's entries
 // either way.
 func (l *Lease) Done() error {
-	dir := l.c.shardDir(l.Shard)
 	d := doneFile{
 		Shard: l.Shard, Owner: l.c.owner, Attempts: l.Gen,
 		FinishedNS: l.c.now().UnixNano(),
 	}
-	if lf, err := readJSON[leaseFile](filepath.Join(dir, "lease.json")); err == nil && lf.Gen == l.Gen {
+	if lf, err := getJSON[leaseFile](l.c.b, leaseKey(l.Shard)); err == nil && lf.Gen == l.Gen {
 		d.ElapsedNS = d.FinishedNS - lf.StartedNS
 	}
-	path := filepath.Join(dir, "done.json")
-	err := writeJSONExcl(path, &d)
+	key := doneKey(l.Shard)
+	err := createJSON(l.c.b, key, &d)
 	if errors.Is(err, fs.ErrExist) {
 		// Someone recorded completion first — fine. Unless the existing
 		// record is undecodable (disk damage; our own writes are atomic):
 		// then inspect would keep reporting the shard unfinished and the
 		// pool would re-run it forever, so repair it in place.
-		if _, rerr := readJSON[doneFile](path); rerr != nil {
-			if werr := writeJSONRename(path, &d); werr != nil {
+		if _, rerr := getJSON[doneFile](l.c.b, key); rerr != nil {
+			if werr := putJSON(l.c.b, key, &d); werr != nil {
 				return fmt.Errorf("coord: repair done record of shard %d: %w", l.Shard, werr)
 			}
 		}
@@ -562,15 +593,12 @@ func (c *Coordinator) Status() (Status, error) {
 			if ins.topGen > row.Attempts {
 				row.Attempts = ins.topGen
 			}
-			// Same clock-skew rule as inspect applies to heartbeats: a
-			// completion stamped further in the future than one TTL can
-			// only be a broken clock, and letting it stand would keep an
-			// otherwise-dead pool looking alive for the whole skew. Zero
-			// evidence errs toward the dead verdict — an error the
-			// operator sees, never a hang.
-			if la := time.Unix(0, ins.done.FinishedNS); !la.After(now.Add(c.ttl)) {
-				row.LastActivity = la
-			}
+			// clampFuture: a completion stamped beyond one TTL in the
+			// future can only be a broken clock, and letting it stand
+			// would keep an otherwise-dead pool looking alive for the
+			// whole skew. Zero evidence errs toward the dead verdict —
+			// an error the operator sees, never a hang.
+			row.LastActivity = c.clampFuture(time.Unix(0, ins.done.FinishedNS), now)
 		case ins.topGen > 0:
 			row.Attempts = ins.topGen
 			row.HeartbeatAge = now.Sub(ins.lastBeat)
@@ -614,82 +642,4 @@ func (s Status) Render(dir string) string {
 		b.WriteByte('\n')
 	}
 	return b.String()
-}
-
-// readJSON decodes one state file. fs.ErrNotExist passes through for
-// existence checks.
-func readJSON[T any](path string) (*T, error) {
-	data, err := os.ReadFile(path)
-	if err != nil {
-		return nil, err
-	}
-	var v T
-	if err := json.Unmarshal(data, &v); err != nil {
-		return nil, fmt.Errorf("decode %s: %w", path, err)
-	}
-	return &v, nil
-}
-
-// writeJSONExcl creates path exclusively AND atomically — the claim
-// primitive: exactly one concurrent creator succeeds (everyone else
-// gets fs.ErrExist), and a crash can never leave a half-written file at
-// path. A plain O_EXCL create-then-write would be exclusive but not
-// crash-atomic: a SIGKILL between the create and the write — precisely
-// the failure this package exists to survive — would leave an empty
-// done.json (a shard no one can ever complete) or coordinator.json (a
-// pool no one can open). So the content is written to a temp file first
-// and published with link(2), which fails with EEXIST if path already
-// exists; an interrupted writer leaves only a stray .tmp file.
-func writeJSONExcl(path string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*.tmp")
-	if err != nil {
-		return err
-	}
-	defer os.Remove(tmp.Name())
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		return err
-	}
-	if err := os.Link(tmp.Name(), path); err != nil {
-		if errors.Is(err, fs.ErrExist) {
-			return fs.ErrExist
-		}
-		return err
-	}
-	return nil
-}
-
-// writeJSONRename writes path atomically via temp file + rename, the
-// result-store discipline: a concurrent reader sees the old content or
-// the new, never a torn file.
-func writeJSONRename(path string, v any) error {
-	data, err := json.Marshal(v)
-	if err != nil {
-		return err
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*.tmp")
-	if err != nil {
-		return err
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	if err := os.Rename(tmp.Name(), path); err != nil {
-		os.Remove(tmp.Name())
-		return err
-	}
-	return nil
 }

@@ -4,8 +4,6 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
-	"os"
-	"path/filepath"
 	"sort"
 	"strconv"
 	"strings"
@@ -42,7 +40,7 @@ func (c *fakeClock) Advance(d time.Duration) {
 // sortedAttempts lists every claimed generation of a shard in ascending
 // order, from the claim markers alone.
 func (c *Coordinator) sortedAttempts(shard int) ([]int, error) {
-	entries, err := os.ReadDir(c.shardDir(shard))
+	names, err := c.b.List(shardKey(shard))
 	if errors.Is(err, fs.ErrNotExist) {
 		return nil, nil
 	}
@@ -50,8 +48,7 @@ func (c *Coordinator) sortedAttempts(shard int) ([]int, error) {
 		return nil, err
 	}
 	var gens []int
-	for _, ent := range entries {
-		name := ent.Name()
+	for _, name := range names {
 		if !strings.HasPrefix(name, "gen-") || !strings.HasSuffix(name, ".claim") {
 			continue
 		}
@@ -63,12 +60,21 @@ func (c *Coordinator) sortedAttempts(shard int) ([]int, error) {
 	return gens, nil
 }
 
+// fsOn builds a filesystem backend over dir on the given test clock —
+// a fresh handle per worker, the way separate processes would open the
+// same state directory.
+func fsOn(dir string, clk *fakeClock) *FSBackend {
+	b := NewFS(dir)
+	b.Clock = clk.Now
+	return b
+}
+
 func openTest(t *testing.T, dir string, shards int, owner string, clk *fakeClock) *Coordinator {
 	t.Helper()
 	c, err := Open(Config{
-		Dir: dir, Shards: shards, Owner: owner,
+		Backend: fsOn(dir, clk),
+		Shards:  shards, Owner: owner,
 		LeaseTTL: 10 * time.Second,
-		now:      clk.Now,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -210,10 +216,7 @@ func TestDeadBeforeLeaseWrite(t *testing.T) {
 	c := openTest(t, dir, 1, "w", clk)
 
 	// Simulate the half-dead claimer by writing the claim marker alone.
-	if err := os.MkdirAll(c.shardDir(0), 0o755); err != nil {
-		t.Fatal(err)
-	}
-	if err := writeJSONExcl(filepath.Join(c.shardDir(0), "gen-0001.claim"), &claimFile{Owner: "ghost", ClaimedNS: clk.Now().UnixNano()}); err != nil {
+	if err := createJSON(c.b, claimKey(0, 1), &claimFile{Owner: "ghost", ClaimedNS: clk.Now().UnixNano()}); err != nil {
 		t.Fatal(err)
 	}
 	if l, _ := c.Claim(); l != nil {
@@ -232,24 +235,24 @@ func TestOpenValidation(t *testing.T) {
 		t.Error("empty dir accepted")
 	}
 	dir := t.TempDir()
-	if _, err := Open(Config{Dir: dir, now: clk.Now}); err == nil || !strings.Contains(err.Error(), "not initialised") {
+	if _, err := Open(Config{Backend: fsOn(dir, clk)}); err == nil || !strings.Contains(err.Error(), "not initialised") {
 		t.Errorf("adopting an uninitialised dir = %v, want a pointed error", err)
 	}
-	if _, err := Open(Config{Dir: dir, Shards: 4, Fingerprint: "sweep-a", now: clk.Now}); err != nil {
+	if _, err := Open(Config{Backend: fsOn(dir, clk), Shards: 4, Fingerprint: "sweep-a"}); err != nil {
 		t.Fatal(err)
 	}
 	// Adoption with 0 shards, and agreement with the recorded count.
-	c, err := Open(Config{Dir: dir, now: clk.Now})
+	c, err := Open(Config{Backend: fsOn(dir, clk)})
 	if err != nil || c.Shards() != 4 {
 		t.Fatalf("adopt = %v shards %d, want 4", err, c.Shards())
 	}
-	if _, err := Open(Config{Dir: dir, Shards: 6, now: clk.Now}); err == nil || !strings.Contains(err.Error(), "does not match") {
+	if _, err := Open(Config{Backend: fsOn(dir, clk), Shards: 6}); err == nil || !strings.Contains(err.Error(), "does not match") {
 		t.Errorf("shard-count mismatch = %v, want refusal", err)
 	}
-	if _, err := Open(Config{Dir: dir, Fingerprint: "sweep-b", now: clk.Now}); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
+	if _, err := Open(Config{Backend: fsOn(dir, clk), Fingerprint: "sweep-b"}); err == nil || !strings.Contains(err.Error(), "fingerprint mismatch") {
 		t.Errorf("fingerprint mismatch = %v, want refusal", err)
 	}
-	if _, err := Open(Config{Dir: dir, Fingerprint: "sweep-a", now: clk.Now}); err != nil {
+	if _, err := Open(Config{Backend: fsOn(dir, clk), Fingerprint: "sweep-a"}); err != nil {
 		t.Errorf("matching fingerprint refused: %v", err)
 	}
 }
@@ -260,24 +263,24 @@ func TestOpenValidation(t *testing.T) {
 func TestLeaseTTLIsPoolState(t *testing.T) {
 	dir := t.TempDir()
 	clk := newFakeClock()
-	first, err := Open(Config{Dir: dir, Shards: 2, Owner: "a", LeaseTTL: 5 * time.Second, now: clk.Now})
+	first, err := Open(Config{Backend: fsOn(dir, clk), Shards: 2, Owner: "a", LeaseTTL: 5 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if first.LeaseTTL() != 5*time.Second {
 		t.Fatalf("initialiser TTL %v, want 5s", first.LeaseTTL())
 	}
-	adopted, err := Open(Config{Dir: dir, Owner: "b", now: clk.Now})
+	adopted, err := Open(Config{Backend: fsOn(dir, clk), Owner: "b"})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if adopted.LeaseTTL() != 5*time.Second {
 		t.Fatalf("adopted TTL %v, want the pool's 5s", adopted.LeaseTTL())
 	}
-	if _, err := Open(Config{Dir: dir, Owner: "c", LeaseTTL: 7 * time.Second, now: clk.Now}); err == nil || !strings.Contains(err.Error(), "lease TTL") {
+	if _, err := Open(Config{Backend: fsOn(dir, clk), Owner: "c", LeaseTTL: 7 * time.Second}); err == nil || !strings.Contains(err.Error(), "lease TTL") {
 		t.Errorf("TTL mismatch = %v, want refusal", err)
 	}
-	if _, err := Open(Config{Dir: dir, Owner: "d", LeaseTTL: 5 * time.Second, now: clk.Now}); err != nil {
+	if _, err := Open(Config{Backend: fsOn(dir, clk), Owner: "d", LeaseTTL: 5 * time.Second}); err != nil {
 		t.Errorf("matching TTL refused: %v", err)
 	}
 }
@@ -294,7 +297,7 @@ func TestDoneRepairsCorruptRecord(t *testing.T) {
 		t.Fatal(l, err)
 	}
 	// The torn/garbage record a crashed disk could leave behind.
-	if err := os.WriteFile(filepath.Join(c.shardDir(0), "done.json"), nil, 0o644); err != nil {
+	if err := c.b.Put(doneKey(0), nil); err != nil {
 		t.Fatal(err)
 	}
 	st, err := c.Status()
@@ -324,7 +327,7 @@ func TestClaimSurvivesFutureTimestamps(t *testing.T) {
 	dir := t.TempDir()
 	clk := newFakeClock()
 	broken := &fakeClock{t: clk.Now().Add(time.Hour)} // 1h ahead, dead
-	dead, err := Open(Config{Dir: dir, Shards: 2, Owner: "dead", LeaseTTL: 10 * time.Second, now: broken.Now})
+	dead, err := Open(Config{Backend: fsOn(dir, broken), Shards: 2, Owner: "dead", LeaseTTL: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -343,7 +346,7 @@ func TestClaimSurvivesFutureTimestamps(t *testing.T) {
 	// Modest skew (3s ahead of a 10s TTL): live until (skew + TTL) on
 	// the local clock, never a theft of a possibly-live lease.
 	slight := &fakeClock{t: clk.Now().Add(3 * time.Second)}
-	dead2, err := Open(Config{Dir: dir, Owner: "dead2", LeaseTTL: 10 * time.Second, now: slight.Now})
+	dead2, err := Open(Config{Backend: fsOn(dir, slight), Owner: "dead2", LeaseTTL: 10 * time.Second})
 	if err != nil {
 		t.Fatal(err)
 	}

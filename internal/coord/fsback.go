@@ -1,0 +1,114 @@
+package coord
+
+import (
+	"errors"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// FSBackend is the default backend: plain JSON files in a shared state
+// directory, the same discipline as the result store (atomic renames,
+// safe between processes and hosts over any filesystem that renames
+// atomically). Exclusive creation is link(2): exactly one process can
+// publish a temp file at the claim path, and an interrupted writer
+// leaves only a stray .tmp — a plain O_EXCL create-then-write would be
+// exclusive but not crash-atomic, and a SIGKILL between the create and
+// the write (precisely the failure this package exists to survive)
+// would leave an empty done.json no one can ever complete.
+type FSBackend struct {
+	dir string
+	// Clock overrides the expiry clock; nil means time.Now. Tests
+	// inject a fake clock here — production code leaves it nil.
+	Clock func() time.Time
+}
+
+// NewFS returns the filesystem backend over the given state directory
+// (created lazily on the first write).
+func NewFS(dir string) *FSBackend { return &FSBackend{dir: dir} }
+
+func (b *FSBackend) path(key string) string {
+	return filepath.Join(b.dir, filepath.FromSlash(key))
+}
+
+func (b *FSBackend) Get(key string) ([]byte, error) {
+	return os.ReadFile(b.path(key))
+}
+
+func (b *FSBackend) Put(key string, data []byte) error {
+	p := b.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := writeTemp(p, data)
+	if err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, p); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+func (b *FSBackend) Create(key string, data []byte) error {
+	p := b.path(key)
+	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+		return err
+	}
+	tmp, err := writeTemp(p, data)
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp)
+	if err := os.Link(tmp, p); err != nil {
+		if errors.Is(err, fs.ErrExist) {
+			return fs.ErrExist
+		}
+		return err
+	}
+	return nil
+}
+
+func (b *FSBackend) List(dir string) ([]string, error) {
+	entries, err := os.ReadDir(b.path(dir))
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, ent := range entries {
+		names = append(names, ent.Name())
+	}
+	return names, nil
+}
+
+func (b *FSBackend) Now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *FSBackend) Location() string { return b.dir }
+
+// writeTemp writes data to a fresh temp file next to path and returns
+// its name; the caller publishes it with rename or link.
+func writeTemp(path string, data []byte) (string, error) {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+"-*.tmp")
+	if err != nil {
+		return "", err
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return "", err
+	}
+	return tmp.Name(), nil
+}
+
+var _ Backend = (*FSBackend)(nil)

@@ -1,0 +1,80 @@
+package coord
+
+import (
+	"io/fs"
+	"strings"
+	"sync"
+	"time"
+)
+
+// MemBackend keeps the pool state in a process-local map: the
+// substrate for fake-clock `-race` tests (no tempdir churn, no file
+// I/O in the claim path) and for single-process ephemeral runs
+// (`-coord mem:`). Every Coordinator of the pool must share the one
+// instance — state dies with the process, so multi-process pools
+// through it are impossible by construction.
+type MemBackend struct {
+	// Clock overrides the expiry clock; nil means time.Now.
+	Clock func() time.Time
+
+	mu sync.Mutex
+	m  map[string][]byte
+}
+
+// NewMem returns a fresh, empty in-memory backend.
+func NewMem() *MemBackend { return &MemBackend{m: make(map[string][]byte)} }
+
+func (b *MemBackend) Get(key string) ([]byte, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	data, ok := b.m[key]
+	if !ok {
+		return nil, fs.ErrNotExist
+	}
+	return data, nil
+}
+
+func (b *MemBackend) Put(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = cp
+	return nil
+}
+
+func (b *MemBackend) Create(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if _, ok := b.m[key]; ok {
+		return fs.ErrExist
+	}
+	b.m[key] = cp
+	return nil
+}
+
+func (b *MemBackend) List(dir string) ([]string, error) {
+	prefix := dir + "/"
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	var names []string
+	for k := range b.m {
+		if rest, ok := strings.CutPrefix(k, prefix); ok && rest != "" && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	return names, nil
+}
+
+func (b *MemBackend) Now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *MemBackend) Location() string { return "mem:" }
+
+var _ Backend = (*MemBackend)(nil)

@@ -1,0 +1,85 @@
+package coord
+
+import (
+	"errors"
+	"io/fs"
+	"strings"
+	"time"
+
+	"repro/internal/campdb"
+)
+
+// SQLiteBackend keeps the pool state in the single-file campaign
+// database behind the CLIs' `-coord sqlite:FILE.db` scheme (see
+// internal/campdb). Pointing -store and -coord at the same file puts
+// the result objects and the coordinator state side by side in
+// separate buckets: the whole campaign — every stored scenario, every
+// lease and attempt record — is one portable artifact. Exclusive
+// Create maps to the database's locked set-if-absent, so claims keep
+// their exactly-one-winner property across processes sharing the file.
+type SQLiteBackend struct {
+	// Clock overrides the expiry clock; nil means time.Now.
+	Clock func() time.Time
+
+	db *campdb.DB
+}
+
+// coordBucket holds coordinator state; internal/resultstore uses the
+// "object" bucket in the same file.
+const coordBucket = "coord"
+
+// NewSQLite opens (creating if needed) the campaign database at path
+// and returns its coordinator backend.
+func NewSQLite(path string) (*SQLiteBackend, error) {
+	db, err := campdb.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &SQLiteBackend{db: db}, nil
+}
+
+func (b *SQLiteBackend) Get(key string) ([]byte, error) {
+	data, err := b.db.Get(coordBucket, key)
+	if errors.Is(err, campdb.ErrNotExist) {
+		return nil, fs.ErrNotExist
+	}
+	return data, err
+}
+
+func (b *SQLiteBackend) Put(key string, data []byte) error {
+	return b.db.Put(coordBucket, key, data)
+}
+
+func (b *SQLiteBackend) Create(key string, data []byte) error {
+	err := b.db.Create(coordBucket, key, data)
+	if errors.Is(err, campdb.ErrExist) {
+		return fs.ErrExist
+	}
+	return err
+}
+
+func (b *SQLiteBackend) List(dir string) ([]string, error) {
+	keys, err := b.db.Keys(coordBucket)
+	if err != nil {
+		return nil, err
+	}
+	prefix := dir + "/"
+	var names []string
+	for _, k := range keys {
+		if rest, ok := strings.CutPrefix(k, prefix); ok && rest != "" && !strings.Contains(rest, "/") {
+			names = append(names, rest)
+		}
+	}
+	return names, nil
+}
+
+func (b *SQLiteBackend) Now() time.Time {
+	if b.Clock != nil {
+		return b.Clock()
+	}
+	return time.Now()
+}
+
+func (b *SQLiteBackend) Location() string { return "sqlite:" + b.db.Path() }
+
+var _ Backend = (*SQLiteBackend)(nil)

@@ -117,7 +117,7 @@ func (c *Coordinator) CheckDrained(st Status) (bool, error) {
 	if age := c.now().Sub(newest); age > c.ttl {
 		done, leased, pending := st.Counts()
 		return false, fmt.Errorf("coord: pool %s looks dead: %d done, %d leased, %d pending, and the newest heartbeat/completion is %v old (lease TTL %v) — no live worker remains; restart workers, then re-run the merge",
-			c.dir, done, leased, pending, age.Round(time.Millisecond), c.ttl)
+			c.Dir(), done, leased, pending, age.Round(time.Millisecond), c.ttl)
 	}
 	return false, nil
 }
@@ -171,7 +171,7 @@ func (w *Watcher) Tick() (lines []string, drained bool, err error) {
 	}
 	done, leased, pending := st.Counts()
 	counts := fmt.Sprintf("merge watch: %s: %d/%d shards done, %d leased, %d pending",
-		w.c.dir, done, len(st.Shards), leased, pending)
+		w.c.Dir(), done, len(st.Shards), leased, pending)
 	if counts != w.counts {
 		lines = append(lines, counts)
 		w.counts = counts

@@ -101,10 +101,9 @@ func TestCheckDrainedClampsFutureCompletions(t *testing.T) {
 	c := openTest(t, dir, 2, "sane", clk)
 
 	// A worker with a far-future clock completes shard 0.
-	skewed, err := Open(Config{
-		Dir: dir, Owner: "skewed",
-		now: func() time.Time { return clk.Now().Add(48 * time.Hour) },
-	})
+	skewedBack := NewFS(dir)
+	skewedBack.Clock = func() time.Time { return clk.Now().Add(48 * time.Hour) }
+	skewed, err := Open(Config{Backend: skewedBack, Owner: "skewed"})
 	if err != nil {
 		t.Fatal(err)
 	}

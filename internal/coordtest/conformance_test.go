@@ -1,0 +1,11 @@
+package coordtest
+
+import "testing"
+
+// TestConformance runs the shared suite against every registered
+// backend (honoring the RTR_BACKEND filter the CI matrix sets).
+func TestConformance(t *testing.T) {
+	for _, b := range Backends(t) {
+		t.Run(b.Name, func(t *testing.T) { Conformance(t, b) })
+	}
+}

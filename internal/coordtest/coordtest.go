@@ -1,0 +1,388 @@
+// Package coordtest is the shard-coordinator conformance harness: a
+// registry of every pool-state backend (fs, mem, sqlite) and one
+// shared suite of the lease-protocol properties the multi-host sweeps
+// depend on — adopt-or-initialise pool constants, exactly-one-owner
+// claims per (shard, generation), TTL re-lease with attempt counting,
+// the drain verdicts, and the future-clock clamp. A new backend is
+// correct when it passes Conformance; the suite drives every worker
+// off an injected fake clock, so it exercises the exact production
+// expiry arithmetic on all backends.
+package coordtest
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+)
+
+// EnvFilter is the environment variable the CI backend matrix sets to
+// restrict the registry: a comma list of backend names ("fs", "mem",
+// "sqlite"). Empty or unset runs all of them.
+const EnvFilter = "RTR_BACKEND"
+
+// Backend is one registered coordinator backend under test.
+type Backend struct {
+	// Name is the registry (and CI matrix) name: "fs", "mem", "sqlite".
+	Name string
+	// New creates one fresh, empty pool state and returns a handle
+	// factory: every call yields a coord.Backend over that same state
+	// whose clock is the given function — one handle per simulated
+	// worker, so each worker can run on its own (possibly skewed)
+	// clock exactly as separate hosts do.
+	New func(tb testing.TB) func(clk func() time.Time) coord.Backend
+}
+
+// reclocked overrides a shared backend handle's clock, for backends
+// (mem) where all workers necessarily share one instance.
+type reclocked struct {
+	coord.Backend
+	clk func() time.Time
+}
+
+func (r reclocked) Now() time.Time { return r.clk() }
+
+func registry() []Backend {
+	return []Backend{
+		{
+			Name: "fs",
+			New: func(tb testing.TB) func(clk func() time.Time) coord.Backend {
+				dir := tb.TempDir()
+				return func(clk func() time.Time) coord.Backend {
+					b := coord.NewFS(dir)
+					b.Clock = clk
+					return b
+				}
+			},
+		},
+		{
+			Name: "mem",
+			New: func(tb testing.TB) func(clk func() time.Time) coord.Backend {
+				shared := coord.NewMem()
+				return func(clk func() time.Time) coord.Backend {
+					return reclocked{Backend: shared, clk: clk}
+				}
+			},
+		},
+		{
+			Name: "sqlite",
+			New: func(tb testing.TB) func(clk func() time.Time) coord.Backend {
+				path := filepath.Join(tb.TempDir(), "campaign.db")
+				return func(clk func() time.Time) coord.Backend {
+					b, err := coord.NewSQLite(path)
+					if err != nil {
+						tb.Fatal(err)
+					}
+					b.Clock = clk
+					return b
+				}
+			},
+		},
+	}
+}
+
+// Backends returns the registered backends, filtered by the EnvFilter
+// environment variable when set (same contract as storetest.Backends).
+func Backends(tb testing.TB) []Backend {
+	all := registry()
+	filter := strings.TrimSpace(os.Getenv(EnvFilter))
+	if filter == "" {
+		return all
+	}
+	byName := make(map[string]Backend, len(all))
+	for _, b := range all {
+		byName[b.Name] = b
+	}
+	var out []Backend
+	for _, name := range strings.Split(filter, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		b, ok := byName[name]
+		if !ok {
+			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite)", EnvFilter, filter, name)
+		}
+		out = append(out, b)
+	}
+	if len(out) == 0 {
+		tb.Fatalf("%s=%q selects no backend", EnvFilter, filter)
+	}
+	return out
+}
+
+// Clock is a race-safe fake clock shared by every worker of a test
+// pool (skewed workers wrap Now with an offset).
+type Clock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+// NewClock starts at an arbitrary fixed epoch — pool arithmetic only
+// ever subtracts timestamps.
+func NewClock() *Clock {
+	return &Clock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *Clock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *Clock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// Conformance runs every pinned coordinator property against one
+// backend. Each subtest builds its own fresh pool state.
+func Conformance(t *testing.T, b Backend) {
+	const ttl = 30 * time.Second
+
+	open := func(t *testing.T, handle coord.Backend, shards int, owner string) *coord.Coordinator {
+		t.Helper()
+		c, err := coord.Open(coord.Config{Backend: handle, Shards: shards, Owner: owner, LeaseTTL: ttl})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	t.Run("AdoptOrInitialise", func(t *testing.T) {
+		clk := NewClock()
+		newHandle := b.New(t)
+		handle := newHandle(clk.Now)
+
+		// An uninitialised pool refuses workers without a shard count.
+		if _, err := coord.Open(coord.Config{Backend: handle}); err == nil {
+			t.Fatal("joined an uninitialised pool without a shard count")
+		}
+		first, err := coord.Open(coord.Config{Backend: handle, Shards: 3, Owner: "first", LeaseTTL: ttl, Fingerprint: "fp-a"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A later worker adopts the persisted constants by passing zeros.
+		second, err := coord.Open(coord.Config{Backend: newHandle(clk.Now), Owner: "second"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if second.Shards() != 3 || second.LeaseTTL() != ttl {
+			t.Errorf("adopted shards=%d ttl=%v, want 3/%v", second.Shards(), second.LeaseTTL(), ttl)
+		}
+		// Mismatched constants are refused: shard count, TTL, fingerprint.
+		if _, err := coord.Open(coord.Config{Backend: newHandle(clk.Now), Shards: 5}); err == nil {
+			t.Error("mismatched shard count accepted")
+		}
+		if _, err := coord.Open(coord.Config{Backend: newHandle(clk.Now), LeaseTTL: ttl * 2}); err == nil {
+			t.Error("mismatched lease TTL accepted")
+		}
+		if _, err := coord.Open(coord.Config{Backend: newHandle(clk.Now), Fingerprint: "fp-b"}); err == nil {
+			t.Error("mismatched fingerprint accepted")
+		}
+		_ = first
+	})
+
+	t.Run("ExactlyOnceClaims", func(t *testing.T) {
+		clk := NewClock()
+		newHandle := b.New(t)
+		const shards, workers = 4, 4
+
+		// Workers race to drain the pool; every shard must be claimed
+		// and completed exactly once (generation 1, one owner each).
+		var wg sync.WaitGroup
+		var mu sync.Mutex
+		owners := make(map[int][]string)
+		errs := make(chan error, workers)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				c, err := coord.Open(coord.Config{Backend: newHandle(clk.Now), Shards: shards, Owner: strings.Repeat("w", w+1), LeaseTTL: ttl})
+				if err != nil {
+					errs <- err
+					return
+				}
+				for {
+					lease, err := c.Claim()
+					if err != nil {
+						errs <- err
+						return
+					}
+					if lease == nil {
+						return
+					}
+					mu.Lock()
+					owners[lease.Shard] = append(owners[lease.Shard], c.Owner())
+					mu.Unlock()
+					if err := lease.Done(); err != nil {
+						errs <- err
+						return
+					}
+				}
+			}(w)
+		}
+		wg.Wait()
+		close(errs)
+		for err := range errs {
+			t.Fatal(err)
+		}
+		for shard := 0; shard < shards; shard++ {
+			if n := len(owners[shard]); n != 1 {
+				t.Errorf("shard %d claimed %d times (%v), want exactly once", shard, n, owners[shard])
+			}
+		}
+		c := open(t, newHandle(clk.Now), 0, "checker")
+		if drained, err := c.Drained(); !drained || err != nil {
+			t.Errorf("drained = %v, %v after all shards done", drained, err)
+		}
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxAttempts() != 1 {
+			t.Errorf("max attempts = %d, want 1 — a clean drain must not re-claim", st.MaxAttempts())
+		}
+	})
+
+	t.Run("TTLReleaseCountsAttempts", func(t *testing.T) {
+		clk := NewClock()
+		newHandle := b.New(t)
+		dead := open(t, newHandle(clk.Now), 1, "dead")
+		survivor := open(t, newHandle(clk.Now), 0, "survivor")
+
+		lease, err := dead.Claim()
+		if err != nil || lease == nil || lease.Gen != 1 {
+			t.Fatal(lease, err)
+		}
+		// While the lease heartbeats, nobody can steal the shard.
+		if stolen, err := survivor.Claim(); err != nil || stolen != nil {
+			t.Fatalf("live lease stolen: %v, %v", stolen, err)
+		}
+		clk.Advance(ttl / 2)
+		if err := lease.Heartbeat(); err != nil {
+			t.Fatal(err)
+		}
+		clk.Advance(ttl - time.Second) // beyond the claim, within the refreshed lease
+		if stolen, err := survivor.Claim(); err != nil || stolen != nil {
+			t.Fatalf("heartbeat did not extend the lease: %v, %v", stolen, err)
+		}
+		// The holder dies; one TTL after its last heartbeat the shard is
+		// re-claimable at the next generation.
+		clk.Advance(2 * time.Second)
+		lease2, err := survivor.Claim()
+		if err != nil || lease2 == nil {
+			t.Fatal(lease2, err)
+		}
+		if lease2.Shard != 0 || lease2.Gen != 2 {
+			t.Fatalf("re-claim = shard %d gen %d, want shard 0 gen 2", lease2.Shard, lease2.Gen)
+		}
+		// The dead worker's lease is gone for good.
+		if err := lease.Heartbeat(); err != coord.ErrLeaseLost {
+			t.Errorf("stale holder heartbeat = %v, want ErrLeaseLost", err)
+		}
+		if err := lease2.Done(); err != nil {
+			t.Fatal(err)
+		}
+		st, err := survivor.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxAttempts() != 2 || !st.AllDone() {
+			t.Errorf("status attempts=%d allDone=%v, want 2/true", st.MaxAttempts(), st.AllDone())
+		}
+	})
+
+	t.Run("DrainVerdicts", func(t *testing.T) {
+		clk := NewClock()
+		newHandle := b.New(t)
+		c := open(t, newHandle(clk.Now), 2, "w")
+
+		// Forming: nothing claimed yet → wait.
+		if drained, err := c.Drained(); drained || err != nil {
+			t.Fatalf("forming pool: drained=%v err=%v, want wait", drained, err)
+		}
+		lease, err := c.Claim()
+		if err != nil || lease == nil {
+			t.Fatal(lease, err)
+		}
+		// Live lease → wait.
+		if drained, err := c.Drained(); drained || err != nil {
+			t.Fatalf("live lease: drained=%v err=%v, want wait", drained, err)
+		}
+		if err := lease.Done(); err != nil {
+			t.Fatal(err)
+		}
+		// Between claims, a recent completion is proof of life → wait.
+		clk.Advance(ttl / 2)
+		if drained, err := c.Drained(); drained || err != nil {
+			t.Fatalf("between claims: drained=%v err=%v, want wait", drained, err)
+		}
+		// A claimed shard whose evidence ages past the TTL → dead verdict.
+		lease2, err := c.Claim()
+		if err != nil || lease2 == nil {
+			t.Fatal(lease2, err)
+		}
+		clk.Advance(ttl + time.Second)
+		drained, err := c.Drained()
+		if drained || err == nil || !strings.Contains(err.Error(), "looks dead") {
+			t.Fatalf("dead pool verdict = (%v, %v), want the 'looks dead' error", drained, err)
+		}
+		// Recovery: re-claim and finish → drained.
+		lease3, err := c.Claim()
+		if err != nil || lease3 == nil || lease3.Gen != 2 {
+			t.Fatal(lease3, err)
+		}
+		if err := lease3.Done(); err != nil {
+			t.Fatal(err)
+		}
+		if drained, err := c.Drained(); !drained || err != nil {
+			t.Fatalf("finished pool: drained=%v err=%v, want true", drained, err)
+		}
+	})
+
+	t.Run("FutureClockClamped", func(t *testing.T) {
+		clk := NewClock()
+		newHandle := b.New(t)
+		sane := open(t, newHandle(clk.Now), 2, "sane")
+		skewed := open(t, newHandle(func() time.Time { return clk.Now().Add(48 * time.Hour) }), 0, "skewed")
+
+		// The skewed worker completes shard 0 with a far-future stamp.
+		lease, err := skewed.Claim()
+		if err != nil || lease == nil {
+			t.Fatal(lease, err)
+		}
+		if err := lease.Done(); err != nil {
+			t.Fatal(err)
+		}
+		// Status must clamp the future completion: LastActivity never
+		// exceeds the observer's now — the invariant CheckDrained's
+		// pool-liveness aggregation depends on.
+		st, err := sane.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		now := clk.Now()
+		for _, sh := range st.Shards {
+			if sh.LastActivity.After(now) {
+				t.Errorf("shard %d LastActivity %v is after now %v — future stamp unclamped", sh.Shard, sh.LastActivity, now)
+			}
+		}
+		// A sane worker claims shard 1 and dies: the skewed completion
+		// must not keep the dead pool looking alive.
+		lease2, err := sane.Claim()
+		if err != nil || lease2 == nil {
+			t.Fatal(lease2, err)
+		}
+		clk.Advance(ttl + time.Second)
+		drained, err := sane.Drained()
+		if drained || err == nil || !strings.Contains(err.Error(), "looks dead") {
+			t.Fatalf("future-skewed completion masked the dead pool: (%v, %v)", drained, err)
+		}
+	})
+}

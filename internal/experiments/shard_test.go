@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/resultstore"
+	"repro/internal/storetest"
 	"repro/internal/sweep"
 )
 
@@ -78,6 +79,57 @@ func TestShardedPopulateMergeByteIdentical(t *testing.T) {
 	}
 	if hits == hitsBefore {
 		t.Error("merge render never read the store")
+	}
+}
+
+// TestFig9MergeByteIdenticalAcrossBackends is the cross-backend pin the
+// CI backend-conformance matrix enforces end to end: a sharded populate
+// plus RequireStored merge of the fig9 grid must render byte-identically
+// no matter which store backend holds the entries. Every backend's
+// merged report is compared against the same plain single-process
+// reference, so identity across backends follows transitively.
+func TestFig9MergeByteIdenticalAcrossBackends(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid sweeps in -short mode")
+	}
+	exp, ok := ByID("fig9b")
+	if !ok {
+		t.Fatal("experiment fig9b missing")
+	}
+	base := Options{Seed: 2011, Apps: 30, RUs: []int{4, 5}}
+	render := func(opt Options) string {
+		var buf bytes.Buffer
+		if err := exp.Run(opt, &buf); err != nil {
+			t.Fatalf("%s: %v", exp.ID, err)
+		}
+		return buf.String()
+	}
+	plain := render(base)
+
+	for _, bk := range storetest.Backends(t) {
+		t.Run(bk.Name, func(t *testing.T) {
+			store, reopen := bk.Open(t)
+			const count = 2
+			popOpt := base
+			popOpt.Store = store
+			for idx := 0; idx < count; idx++ {
+				if _, err := Populate(popOpt, []Experiment{exp}, sweep.Shard{Index: idx, Count: count}); err != nil {
+					t.Fatalf("shard %d/%d: %v", idx, count, err)
+				}
+			}
+			// Merge through a fresh handle over the same data — the
+			// separate merge process of a real campaign.
+			mergeOpt := base
+			mergeOpt.Store = reopen(t)
+			mergeOpt.RequireStored = true
+			if merged := render(mergeOpt); merged != plain {
+				t.Errorf("merged report on %s diverged from the plain run:\n--- plain ---\n%s\n--- merged ---\n%s",
+					bk.Name, plain, merged)
+			}
+			if _, _, puts := mergeOpt.Store.Stats(); puts != 0 {
+				t.Errorf("merge render wrote %d new entries — it re-simulated", puts)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,60 @@
+package resultstore
+
+import "sync"
+
+// memBackend keeps the whole store in a process-local map: zero file
+// I/O for tests and ephemeral CI runs (`-store mem:`), and the natural
+// substrate for `-race` runs that would otherwise churn tempdirs. A
+// mem store dies with the process — sharding across processes through
+// it is impossible by construction, which OpenURL's scheme docs state.
+type memBackend struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMem returns a fresh, empty in-memory backend.
+func NewMem() Backend {
+	return &memBackend{m: make(map[string][]byte)}
+}
+
+func (b *memBackend) Load(key string) ([]byte, bool) {
+	b.mu.RLock()
+	defer b.mu.RUnlock()
+	data, ok := b.m[key]
+	return data, ok
+}
+
+func (b *memBackend) Store(key string, data []byte) error {
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.m[key] = cp
+	return nil
+}
+
+func (b *memBackend) Visit(fn func(key string, data []byte) error) (int, error) {
+	b.mu.RLock()
+	keys := make([]string, 0, len(b.m))
+	for k := range b.m {
+		keys = append(keys, k)
+	}
+	b.mu.RUnlock()
+	for _, k := range keys {
+		if data, ok := b.Load(k); ok {
+			if err := fn(k, data); err != nil {
+				return 0, err
+			}
+		}
+	}
+	return 0, nil
+}
+
+func (b *memBackend) Delete(key string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	delete(b.m, key)
+	return nil
+}
+
+func (b *memBackend) Location() string { return "mem:" }

@@ -11,12 +11,16 @@
 // new ones; internal/sweep guarantees the warm results are byte-identical
 // to a cold run.
 //
-// Layout: DIR/objects/<k0k1>/<key>.json, one JSON Entry per scenario,
-// fanned out on the first two hex digits of the key. Writes go through a
-// temp file plus rename, so concurrent writers (including separate
-// processes sharing one store directory over any filesystem that renames
-// atomically) never expose a torn entry — which is what makes the store
-// the merge substrate for sharded multi-host sweeps.
+// Persistence is pluggable: a Store is semantics (key validation,
+// schema stamping and invalidation, hit/miss accounting, the GC
+// predicate) over a byte-level Backend. Three backends ship — the
+// default filesystem layout (DIR/objects/<k0k1>/<key>.json, atomic
+// temp+rename writes, the merge substrate for sharded multi-host
+// sweeps), an in-memory map (tests, ephemeral CI), and the single-file
+// campaign database (internal/campdb) behind the `sqlite:FILE.db`
+// locator scheme. internal/storetest runs the shared conformance suite
+// against all of them; internal/backendurl parses the CLI locator
+// syntax shared with -coord.
 //
 // Invalidation: every entry records the SchemaVersion it was written
 // under — inside the entry, deliberately not in the key (since schema
@@ -43,12 +47,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
-	"io/fs"
-	"os"
-	"path/filepath"
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/backendurl"
 )
 
 // SchemaVersion identifies the entry layout and the config-hash recipe.
@@ -68,10 +71,11 @@ import (
 // folding in the schema version.
 const SchemaVersion = 2
 
-// Store is a content-addressed result store rooted at a directory. The
-// zero value is not usable; call Open. A Store is safe for concurrent use.
+// Store is a content-addressed result store over a Backend. The zero
+// value is not usable; call Open (fs), OpenMem, OpenSQLite, OpenURL,
+// or FromBackend. A Store is safe for concurrent use.
 type Store struct {
-	dir string
+	b Backend
 
 	hits   atomic.Int64
 	misses atomic.Int64
@@ -81,39 +85,86 @@ type Store struct {
 	firstWriteErr atomic.Pointer[string]
 }
 
+var errInvalidDir = errors.New("resultstore: empty store directory")
+
 // OpenIfSet resolves the CLI store flags: a nil Store (run without one)
-// when dir is empty or the store is disabled, an opened store otherwise.
-func OpenIfSet(dir string, disabled bool) (*Store, error) {
-	if disabled || dir == "" {
+// when the locator is empty or the store is disabled, an opened store
+// otherwise. The locator takes the -store flag's backend syntax: a
+// bare directory (the fs default), fs:DIR, mem:, or sqlite:FILE.db.
+func OpenIfSet(locator string, disabled bool) (*Store, error) {
+	if disabled || locator == "" {
 		return nil, nil
 	}
-	return Open(dir)
+	return OpenURL("-store", locator)
 }
 
-// Open creates (if needed) and opens the store rooted at dir.
+// OpenURL opens the store named by a backend locator (see
+// internal/backendurl), attributing parse errors to the given flag.
+func OpenURL(flag, locator string) (*Store, error) {
+	loc, err := backendurl.Parse(flag, locator)
+	if err != nil {
+		return nil, err
+	}
+	switch loc.Scheme {
+	case backendurl.SchemeMem:
+		return OpenMem(), nil
+	case backendurl.SchemeSQLite:
+		return OpenSQLite(loc.Path)
+	default:
+		return Open(loc.Path)
+	}
+}
+
+// Open creates (if needed) and opens the filesystem store rooted at dir.
 func Open(dir string) (*Store, error) {
-	if dir == "" {
-		return nil, errors.New("resultstore: empty store directory")
+	b, err := NewFS(dir)
+	if err != nil {
+		return nil, err
 	}
-	if err := os.MkdirAll(filepath.Join(dir, "objects"), 0o755); err != nil {
-		return nil, fmt.Errorf("resultstore: %w", err)
-	}
-	return &Store{dir: dir}, nil
+	return FromBackend(b), nil
 }
 
-// Dir returns the store's root directory.
-func (s *Store) Dir() string { return s.dir }
+// OpenMem opens a fresh in-memory store (dies with the process).
+func OpenMem() *Store { return FromBackend(NewMem()) }
+
+// OpenSQLite opens the store bucket of the single-file campaign
+// database at path, creating the file if needed.
+func OpenSQLite(path string) (*Store, error) {
+	if path == "" {
+		return nil, errInvalidDir
+	}
+	b, err := NewSQLite(path)
+	if err != nil {
+		return nil, err
+	}
+	return FromBackend(b), nil
+}
+
+// FromBackend wraps an existing backend in a Store with fresh
+// counters. Two Stores over one backend share data but not stats —
+// exactly what reopening a store directory always meant.
+func FromBackend(b Backend) *Store { return &Store{b: b} }
+
+// Backend exposes the persistence substrate, for conformance tooling
+// (internal/storetest rewrites raw entries through it) and for callers
+// that need to share one backend across Store handles.
+func (s *Store) Backend() Backend { return s.b }
+
+// Dir returns the store's location: the root directory for the fs
+// backend, the locator ("mem:", "sqlite:FILE") otherwise. The name is
+// historical; treat it as a display string, not necessarily a path.
+func (s *Store) Dir() string { return s.b.Location() }
 
 // keyLen is the length of a canonical key: lowercase hex SHA-256.
 const keyLen = 64
 
-// path maps a key to its entry file, fanning out on the leading hex
-// digits to keep directories small under large grids.
-func (s *Store) path(key string) (string, error) {
+// validKey gates every lookup and write: canonical keys only, so no
+// backend ever sees a key it could mistake for a path escape.
+func validKey(key string) error {
 	if len(key) != keyLen || strings.ContainsAny(key, "/\\.") {
-		return "", fmt.Errorf("resultstore: malformed key %q", key)
+		return fmt.Errorf("resultstore: malformed key %q", key)
 	}
-	return filepath.Join(s.dir, "objects", key[:2], key+".json"), nil
+	return nil
 }
 
 // Get looks the key up. A missing, undecodable, wrong-schema or
@@ -148,14 +199,26 @@ func (s *Store) Probe(key string) (*Entry, bool) {
 
 // get decodes a servable entry, counting nothing.
 func (s *Store) get(key string) (*Entry, bool) {
-	p, err := s.path(key)
-	if err != nil {
+	if validKey(key) != nil {
 		return nil, false
 	}
-	data, err := os.ReadFile(p)
-	if err != nil {
+	data, ok := s.b.Load(key)
+	if !ok {
 		return nil, false
 	}
+	e, ok := decodeServable(key, data)
+	if !ok {
+		return nil, false
+	}
+	return e, true
+}
+
+// decodeServable is the single definition of "this entry may be
+// served": it decodes, carries the current schema version, records the
+// key it is filed under, and holds a run. Get, Probe and GC all
+// delegate here, so invalidation can never drift between serving and
+// collection — on any backend.
+func decodeServable(key string, data []byte) (*Entry, bool) {
 	var e Entry
 	if err := json.Unmarshal(data, &e); err != nil ||
 		e.Schema != SchemaVersion || e.Key != key || e.Run == nil {
@@ -182,8 +245,7 @@ func (s *Store) Put(key string, e *Entry) error {
 }
 
 func (s *Store) put(key string, e *Entry) error {
-	p, err := s.path(key)
-	if err != nil {
+	if err := validKey(key); err != nil {
 		return err
 	}
 	e.Schema = SchemaVersion
@@ -192,27 +254,7 @@ func (s *Store) put(key string, e *Entry) error {
 	if err != nil {
 		return fmt.Errorf("resultstore: encode %s: %w", key, err)
 	}
-	if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	tmp, err := os.CreateTemp(filepath.Dir(p), "."+key[:8]+"-*.tmp")
-	if err != nil {
-		return fmt.Errorf("resultstore: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: write %s: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: write %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), p); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("resultstore: commit %s: %w", key, err)
-	}
-	return nil
+	return s.b.Store(key, data)
 }
 
 // elapsedProbe is the minimal decode ElapsedHint performs: the recorded
@@ -233,12 +275,11 @@ type elapsedProbe struct {
 // touch the hit/miss counters, and a wrong hint costs wall clock, never
 // correctness.
 func (s *Store) ElapsedHint(key string) (time.Duration, bool) {
-	p, err := s.path(key)
-	if err != nil {
+	if validKey(key) != nil {
 		return 0, false
 	}
-	data, err := os.ReadFile(p)
-	if err != nil {
+	data, ok := s.b.Load(key)
+	if !ok {
 		return 0, false
 	}
 	var e elapsedProbe
@@ -260,7 +301,7 @@ func (s *Store) Stats() (hits, misses, puts int64) {
 func (s *Store) SummaryLine() string {
 	hits, misses, puts := s.Stats()
 	line := fmt.Sprintf("result store: %d hits, %d misses, %d entries written (%s)",
-		hits, misses, puts, s.dir)
+		hits, misses, puts, s.Dir())
 	if fails := s.writeFailures.Load(); fails > 0 {
 		line += fmt.Sprintf("; %d writes FAILED (first: %s)", fails, *s.firstWriteErr.Load())
 	}
@@ -280,7 +321,7 @@ func RunGC(s *Store) (string, error) {
 		return "", err
 	}
 	return fmt.Sprintf("store gc: removed %d stale entries, kept %d (%s)",
-		st.Removed, st.Kept, s.dir), nil
+		st.Removed, st.Kept, s.Dir()), nil
 }
 
 // GCStats summarizes one garbage collection pass.
@@ -293,40 +334,31 @@ type GCStats struct {
 	Removed int
 }
 
-// GC walks the store and deletes every entry that the current code could
-// never serve: wrong schema version, undecodable JSON, or a recorded key
-// that does not match the filename. Leftover temp files are removed too.
+// GC walks the store and deletes every entry that the current code
+// could never serve: wrong schema version, undecodable bytes, or a
+// recorded key that does not match the key it is filed under. Backend
+// junk (leftover temp files and the like) is swept too and counted in
+// Removed.
 func (s *Store) GC() (GCStats, error) {
 	var st GCStats
-	root := filepath.Join(s.dir, "objects")
-	err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() {
-			return err
-		}
-		if strings.HasSuffix(p, ".tmp") {
-			if os.Remove(p) == nil {
-				st.Removed++
-			}
-			return nil
-		}
-		key := strings.TrimSuffix(filepath.Base(p), ".json")
-		data, err := os.ReadFile(p)
-		var e Entry
-		valid := err == nil &&
-			json.Unmarshal(data, &e) == nil &&
-			e.Schema == SchemaVersion && e.Key == key && e.Run != nil
-		if valid {
+	var stale []string
+	junk, err := s.b.Visit(func(key string, data []byte) error {
+		if _, ok := decodeServable(key, data); ok {
 			st.Kept++
 			return nil
 		}
-		if err := os.Remove(p); err != nil {
-			return err
-		}
-		st.Removed++
+		stale = append(stale, key)
 		return nil
 	})
+	st.Removed += junk
 	if err != nil {
 		return st, fmt.Errorf("resultstore: gc: %w", err)
+	}
+	for _, key := range stale {
+		if err := s.b.Delete(key); err != nil {
+			return st, fmt.Errorf("resultstore: gc: %w", err)
+		}
+		st.Removed++
 	}
 	return st, nil
 }

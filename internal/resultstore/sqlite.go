@@ -1,0 +1,57 @@
+package resultstore
+
+import (
+	"errors"
+
+	"repro/internal/campdb"
+)
+
+// sqliteBackend stores entries in the single-file campaign database
+// behind the CLIs' `-store sqlite:FILE.db` scheme (see internal/campdb
+// for the format and why it is a stdlib-only record log rather than a
+// driver-backed SQLite file). One file can hold the whole campaign:
+// passing the same locator to -store and -coord puts the objects and
+// the coordinator state side by side in separate buckets, so a
+// finished campaign is one artifact to archive or ship.
+type sqliteBackend struct {
+	db *campdb.DB
+}
+
+// storeBucket holds result entries; internal/coord uses coordBucket in
+// the same file.
+const storeBucket = "object"
+
+// NewSQLite opens (creating if needed) the campaign database at path
+// and returns its store backend.
+func NewSQLite(path string) (Backend, error) {
+	db, err := campdb.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return &sqliteBackend{db: db}, nil
+}
+
+func (b *sqliteBackend) Load(key string) ([]byte, bool) {
+	data, err := b.db.Get(storeBucket, key)
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+func (b *sqliteBackend) Store(key string, data []byte) error {
+	return b.db.Put(storeBucket, key, data)
+}
+
+func (b *sqliteBackend) Visit(fn func(key string, data []byte) error) (int, error) {
+	return 0, b.db.Visit(storeBucket, fn)
+}
+
+func (b *sqliteBackend) Delete(key string) error {
+	if err := b.db.Delete(storeBucket, key); err != nil && !errors.Is(err, campdb.ErrNotExist) {
+		return err
+	}
+	return nil
+}
+
+func (b *sqliteBackend) Location() string { return "sqlite:" + b.db.Path() }

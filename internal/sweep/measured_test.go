@@ -5,7 +5,7 @@ import (
 	"time"
 
 	"repro/internal/resultstore"
-	"repro/internal/resultstore/storetest"
+	"repro/internal/storetest"
 )
 
 // fabricateTimings writes one minimal store entry per scenario whose
@@ -74,7 +74,7 @@ func TestMeasuredCostSurvivesSchemaBump(t *testing.T) {
 	keys := fabricateTimings(t, store, spec, func(i int) time.Duration {
 		return time.Duration(n-i) * time.Millisecond
 	})
-	storetest.StaleifySchema(t, store.Dir())
+	storetest.StaleifySchema(t, store)
 	// Fresh handle: the stats below must describe the post-bump sweep
 	// alone, not the fabrication writes.
 	store, err := resultstore.Open(store.Dir())

@@ -9,6 +9,7 @@ import (
 	"repro/internal/policy"
 	"repro/internal/resultstore"
 	"repro/internal/simtime"
+	"repro/internal/storetest"
 	"repro/internal/taskgraph"
 )
 
@@ -24,55 +25,64 @@ func openStore(t *testing.T) *resultstore.Store {
 // TestStoreWarmRunIdentical is the reuse pin: a second identical sweep
 // against the same store simulates nothing (every scenario is a hit) and
 // returns results field-for-field identical to the cold run — the
-// property the CI determinism gate enforces end to end on the CLI.
+// property the CI determinism gate enforces end to end on the CLI. It
+// runs against every registered store backend: serving from memory or
+// the campaign database must reproduce the fs behavior bit for bit.
 func TestStoreWarmRunIdentical(t *testing.T) {
-	spec := fig9Spec(t, 4, 5)
-	store := openStore(t)
-	ex := Executor{Workers: 4, Store: store}
+	for _, bk := range storetest.Backends(t) {
+		t.Run(bk.Name, func(t *testing.T) {
+			spec := fig9Spec(t, 4, 5)
+			store, reopen := bk.Open(t)
+			ex := Executor{Workers: 4, Store: store}
 
-	cold, err := ex.Run(spec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	hits, misses, puts := store.Stats()
-	if hits != 0 || misses != int64(spec.Size()) || puts != int64(spec.Size()) {
-		t.Fatalf("cold run stats hits=%d misses=%d puts=%d, want 0/%d/%d",
-			hits, misses, puts, spec.Size(), spec.Size())
-	}
+			cold, err := ex.Run(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits, misses, puts := store.Stats()
+			if hits != 0 || misses != int64(spec.Size()) || puts != int64(spec.Size()) {
+				t.Fatalf("cold run stats hits=%d misses=%d puts=%d, want 0/%d/%d",
+					hits, misses, puts, spec.Size(), spec.Size())
+			}
 
-	// The warm run must not simulate: a policy axis whose constructor
-	// panics proves no scenario was dispatched.
-	warmSpec := spec
-	warmSpec.Policies = make([]PolicySpec, len(spec.Policies))
-	for i, p := range spec.Policies {
-		warmSpec.Policies[i] = p
-		warmSpec.Policies[i].New = func() (policy.Policy, error) {
-			panic("warm run dispatched a scenario to the simulator")
-		}
-	}
-	warm, err := ex.Run(warmSpec)
-	if err != nil {
-		t.Fatal(err)
-	}
-	hits, _, puts = store.Stats()
-	if hits != int64(spec.Size()) || puts != int64(spec.Size()) {
-		t.Fatalf("warm run stats hits=%d puts=%d, want %d hits and no new writes",
-			hits, puts, spec.Size())
-	}
+			// The warm run serves through a fresh handle over the same
+			// data — what re-invoking the CLI against the same -store
+			// locator does. A policy axis whose constructor panics proves
+			// no scenario was dispatched to the simulator.
+			warmStore := reopen(t)
+			warmSpec := spec
+			warmSpec.Policies = make([]PolicySpec, len(spec.Policies))
+			for i, p := range spec.Policies {
+				warmSpec.Policies[i] = p
+				warmSpec.Policies[i].New = func() (policy.Policy, error) {
+					panic("warm run dispatched a scenario to the simulator")
+				}
+			}
+			warm, err := (Executor{Workers: 4, Store: warmStore}).Run(warmSpec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			hits, _, puts = warmStore.Stats()
+			if hits != int64(spec.Size()) || puts != 0 {
+				t.Fatalf("warm run stats hits=%d puts=%d, want %d hits and no new writes",
+					hits, puts, spec.Size())
+			}
 
-	for i := range cold.Results {
-		c, w := cold.Results[i], warm.Results[i]
-		if !reflect.DeepEqual(c.Summary, w.Summary) {
-			t.Errorf("scenario %d summary diverged:\ncold %+v\nwarm %+v", i, c.Summary, w.Summary)
-		}
-		cr, wr := *c.Run, *w.Run
-		cr.Templates, wr.Templates = nil, nil // in-memory only, never reported
-		if !reflect.DeepEqual(cr, wr) {
-			t.Errorf("scenario %d run diverged:\ncold %+v\nwarm %+v", i, cr, wr)
-		}
-		if c.Ideal.Makespan != w.Ideal.Makespan || c.Ideal.Executed != w.Ideal.Executed {
-			t.Errorf("scenario %d ideal diverged", i)
-		}
+			for i := range cold.Results {
+				c, w := cold.Results[i], warm.Results[i]
+				if !reflect.DeepEqual(c.Summary, w.Summary) {
+					t.Errorf("scenario %d summary diverged:\ncold %+v\nwarm %+v", i, c.Summary, w.Summary)
+				}
+				cr, wr := *c.Run, *w.Run
+				cr.Templates, wr.Templates = nil, nil // in-memory only, never reported
+				if !reflect.DeepEqual(cr, wr) {
+					t.Errorf("scenario %d run diverged:\ncold %+v\nwarm %+v", i, cr, wr)
+				}
+				if c.Ideal.Makespan != w.Ideal.Makespan || c.Ideal.Executed != w.Ideal.Executed {
+					t.Errorf("scenario %d ideal diverged", i)
+				}
+			}
+		})
 	}
 }
 
