@@ -5,6 +5,14 @@
 //	rtrmob -graph fig3tg2            # the paper's Fig. 7 example
 //	rtrmob -graph hough -rus 6
 //	rtrmob -json mygraph.json -rus 4 -latency 2.5
+//
+// With -store the computed tables persist as design-time artifacts in a
+// result store, where rtrsim and rtrrepro runs sharing that store load
+// them instead of recomputing. -graph multimedia selects the whole
+// multimedia template pool and -rus accepts a range, so one command
+// pre-seeds every table a sweep will need:
+//
+//	rtrmob -graph multimedia -rus 4-10 -store /shared/store
 package main
 
 import (
@@ -13,28 +21,65 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/artifact"
 	"repro/internal/mobility"
+	"repro/internal/resultstore"
 	"repro/internal/simtime"
+	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
 
 func main() {
 	var (
-		name    = flag.String("graph", "", "built-in graph: jpeg, mpeg1, hough, fig2tg1, fig2tg2, fig3tg1, fig3tg2")
-		jsonIn  = flag.String("json", "", "path of a JSON graph definition (see taskgraph schema)")
-		rus     = flag.Int("rus", 4, "number of reconfigurable units")
-		latency = flag.Float64("latency", 4, "reconfiguration latency in ms")
-		dot     = flag.Bool("dot", false, "also print the graph in Graphviz dot syntax")
-		asJSON  = flag.Bool("o-json", false, "emit the mobility table as JSON (the deployable design-time artefact)")
+		name     = flag.String("graph", "", "built-in graph: jpeg, mpeg1, hough, fig2tg1, fig2tg2, fig3tg1, fig3tg2, or multimedia (the whole pool; needs -store)")
+		jsonIn   = flag.String("json", "", "path of a JSON graph definition (see taskgraph schema)")
+		rus      = flag.String("rus", "4", "number of reconfigurable units; a range (\"4-10\") or list (\"4,6\") pre-seeds each (needs -store)")
+		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
+		dot      = flag.Bool("dot", false, "also print the graph in Graphviz dot syntax")
+		asJSON   = flag.Bool("o-json", false, "emit the mobility table as JSON (the deployable design-time artefact)")
+		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "result store locator (a directory, fs:DIR, mem:, or sqlite:FILE.db; default: $RTR_STORE): persist the computed tables as design-time artifacts for rtrsim/rtrrepro runs sharing the store")
+		noStore  = flag.Bool("no-store", false, "disable the artifact store even when -store/$RTR_STORE is set")
 	)
 	flag.Parse()
 
-	g, err := loadGraph(*name, *jsonIn)
+	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
 	if err != nil {
 		fatal(err)
 	}
-	tab, err := mobility.Compute(g, *rus, simtime.FromMs(*latency))
+	mobility.ResetStats()
+	if store != nil {
+		artifact.Install(store)
+	}
+
+	graphs, err := loadGraphs(*name, *jsonIn)
+	if err != nil {
+		fatal(err)
+	}
+	units, err := sweep.ParseRUs(*rus)
+	if err != nil {
+		fatal(err)
+	}
+	if len(graphs) > 1 || len(units) > 1 {
+		if store == nil {
+			fatal(fmt.Errorf("multiple graphs or unit counts pre-seed a store; pass -store DIR (or run one graph at one -rus)"))
+		}
+		if *dot || *asJSON {
+			fatal(fmt.Errorf("-dot/-o-json need a single graph at a single -rus"))
+		}
+		for _, u := range units {
+			for _, g := range graphs {
+				if _, err := mobility.Cached(g, u, simtime.FromMs(*latency)); err != nil {
+					fatal(fmt.Errorf("%s rus=%d: %w", g.Name(), u, err))
+				}
+			}
+		}
+		reportAndFlush(store)
+		return
+	}
+
+	g := graphs[0]
+	tab, err := mobility.Cached(g, units[0], simtime.FromMs(*latency))
 	if err != nil {
 		fatal(err)
 	}
@@ -44,6 +89,7 @@ func main() {
 			fatal(err)
 		}
 		fmt.Println(string(data))
+		reportAndFlush(store)
 		return
 	}
 	fmt.Println(tab)
@@ -52,31 +98,50 @@ func main() {
 	if *dot {
 		fmt.Print(g.DOT())
 	}
+	reportAndFlush(store)
 }
 
-func loadGraph(name, jsonPath string) (*taskgraph.Graph, error) {
+// reportAndFlush prints the design-time cache digest when a store is
+// attached, so operators see what a pre-seed run computed vs served.
+func reportAndFlush(store *resultstore.Store) {
+	if store == nil {
+		return
+	}
+	fmt.Fprintln(os.Stderr, store.SummaryLine())
+	if line := mobility.DigestLine(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
+	}
+}
+
+func loadGraphs(name, jsonPath string) ([]*taskgraph.Graph, error) {
 	if jsonPath != "" {
 		data, err := os.ReadFile(jsonPath)
 		if err != nil {
 			return nil, err
 		}
-		return taskgraph.FromJSON(data)
+		g, err := taskgraph.FromJSON(data)
+		if err != nil {
+			return nil, err
+		}
+		return []*taskgraph.Graph{g}, nil
 	}
 	switch name {
 	case "jpeg":
-		return workload.JPEG(), nil
+		return []*taskgraph.Graph{workload.JPEG()}, nil
 	case "mpeg1":
-		return workload.MPEG1(), nil
+		return []*taskgraph.Graph{workload.MPEG1()}, nil
 	case "hough":
-		return workload.Hough(), nil
+		return []*taskgraph.Graph{workload.Hough()}, nil
 	case "fig2tg1":
-		return workload.Fig2TG1(), nil
+		return []*taskgraph.Graph{workload.Fig2TG1()}, nil
 	case "fig2tg2":
-		return workload.Fig2TG2(), nil
+		return []*taskgraph.Graph{workload.Fig2TG2()}, nil
 	case "fig3tg1":
-		return workload.Fig3TG1(), nil
+		return []*taskgraph.Graph{workload.Fig3TG1()}, nil
 	case "fig3tg2":
-		return workload.Fig3TG2(), nil
+		return []*taskgraph.Graph{workload.Fig3TG2()}, nil
+	case "multimedia":
+		return workload.Multimedia(), nil
 	case "":
 		return nil, fmt.Errorf("need -graph or -json")
 	default:

@@ -57,8 +57,10 @@ import (
 	"os"
 	"strings"
 
+	"repro/internal/artifact"
 	"repro/internal/coord"
 	"repro/internal/experiments"
+	"repro/internal/mobility"
 	"repro/internal/profiling"
 	"repro/internal/resultstore"
 	"repro/internal/simtime"
@@ -106,6 +108,14 @@ func main() {
 	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
 	if err != nil {
 		fatal(err)
+	}
+	// Design-time artifact tier: with a store attached, mobility tables
+	// computed by this run persist next to the results, and tables any
+	// previous run stored are loaded instead of recomputed. Counters
+	// start from zero for this run's digest.
+	mobility.ResetStats()
+	if store != nil {
+		artifact.Install(store)
 	}
 	if *storeGC {
 		line, err := resultstore.RunGC(store)
@@ -197,6 +207,7 @@ func main() {
 			}
 			fmt.Fprintln(os.Stderr, stats.Summary(c.Shards()))
 			fmt.Fprintln(os.Stderr, store.SummaryLine())
+			printMobilityDigest()
 			return
 		}
 		// Coordinator-aware merge: consult the pool before rendering from
@@ -232,6 +243,7 @@ func main() {
 		}
 		fmt.Fprintln(os.Stderr, shardDigest(shard, st))
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
+		printMobilityDigest()
 		return
 	}
 	if *merge && store == nil {
@@ -256,6 +268,16 @@ func main() {
 	}
 	if store != nil {
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
+	}
+	printMobilityDigest()
+}
+
+// printMobilityDigest emits the design-time cache digest to stderr when
+// this run touched the mobility cache at all. Keep the format stable —
+// the CI artifact-reuse gate greps it.
+func printMobilityDigest() {
+	if line := mobility.DigestLine(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

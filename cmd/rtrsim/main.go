@@ -53,10 +53,12 @@ import (
 	"os"
 	"time"
 
+	"repro/internal/artifact"
 	"repro/internal/coord"
 	"repro/internal/core"
 	"repro/internal/dynlist"
 	"repro/internal/metrics"
+	"repro/internal/mobility"
 	"repro/internal/profiling"
 	"repro/internal/resultstore"
 	"repro/internal/simtime"
@@ -113,6 +115,13 @@ func main() {
 	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
 	if err != nil {
 		fatal(err)
+	}
+	// Design-time artifact tier: with a store attached, mobility tables
+	// persist next to the results and warm runs load them instead of
+	// recomputing. Counters start from zero for this run's digest.
+	mobility.ResetStats()
+	if store != nil {
+		artifact.Install(store)
 	}
 	if *storeGC {
 		line, err := resultstore.RunGC(store)
@@ -214,6 +223,9 @@ func main() {
 	}
 	if store != nil {
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
+	}
+	if line := mobility.DigestLine(); line != "" {
+		fmt.Fprintln(os.Stderr, line)
 	}
 }
 

@@ -1,0 +1,101 @@
+// Package artifact persists design-time phase outputs in the result
+// store's artifact space, so they are reused across processes and hosts
+// instead of recomputed by every cold process.
+//
+// The first (and so far only) artifact kind is the mobility table: the
+// paper's design-time phase output, a pure function of (graph, RUs,
+// latency) and hundreds of full schedules to recompute. Tables are keyed
+// by a canonical hash of the graph's content fingerprint plus the unit
+// count and latency — never a pointer, never a name alone — so any
+// process that builds or re-parses the same template derives the same
+// key, and a stale key can never alias a different triple. The payload
+// is the table's stable JSON encoding (internal/mobility/encoding.go),
+// validated against the requesting template on load; a payload that does
+// not decode or does not match reads as a miss and the table is
+// recomputed, never served wrong.
+//
+// Install wires a store into the mobility cache as its persistent second
+// tier (process map → store → compute); both CLIs do this whenever a
+// -store is attached, which is all it takes to make every shard worker
+// on every host share one design-time phase per triple.
+package artifact
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/mobility"
+	"repro/internal/resultstore"
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
+)
+
+// MobilityKind tags mobility-table artifacts in the store.
+const MobilityKind = "mobility-table"
+
+// MobilityVersion is the mobility payload layout version. Bump it when
+// the table encoding (or the design-time algorithm whose output it
+// records) changes meaning: old artifacts then read as misses and are
+// recomputed and overwritten in place.
+const MobilityVersion = 1
+
+// MobilityKey derives the canonical store key for the mobility table of
+// (graph fingerprint, RUs, latency). The kind tag is folded in first for
+// domain separation from scenario result keys, which share the store's
+// key space.
+func MobilityKey(fingerprint string, rus int, latency simtime.Time) string {
+	h := resultstore.NewHash()
+	h.String("artifact", MobilityKind)
+	h.String("graph", fingerprint)
+	h.Int("rus", int64(rus))
+	h.Int("latency", int64(latency))
+	return h.Sum()
+}
+
+// TableStore adapts a result store's artifact space to the mobility
+// cache's persistent-tier interface (mobility.TableStore).
+type TableStore struct {
+	s *resultstore.Store
+}
+
+// NewTableStore wraps s. The store must be non-nil.
+func NewTableStore(s *resultstore.Store) *TableStore {
+	return &TableStore{s: s}
+}
+
+// LoadTable fetches and validates the stored table for the triple.
+// Anything short of a well-formed table for exactly this template is a
+// miss: the cache recomputes, it never serves a doubtful artifact.
+func (ts *TableStore) LoadTable(g *taskgraph.Graph, rus int, latency simtime.Time) (*mobility.Table, bool) {
+	a, ok := ts.s.GetArtifact(MobilityKey(g.Fingerprint(), rus, latency), MobilityKind, MobilityVersion)
+	if !ok {
+		return nil, false
+	}
+	t, err := mobility.TableFromJSON(a.Payload, g)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+// StoreTable persists a freshly computed table under its canonical key.
+func (ts *TableStore) StoreTable(t *mobility.Table) error {
+	payload, err := json.Marshal(t)
+	if err != nil {
+		return fmt.Errorf("artifact: encode mobility table %s: %w", t.Graph.Name(), err)
+	}
+	return ts.s.PutArtifact(MobilityKey(t.Graph.Fingerprint(), t.RUs, t.Latency), &resultstore.Artifact{
+		Kind:        MobilityKind,
+		KindVersion: MobilityVersion,
+		Label:       fmt.Sprintf("mobility %s rus=%d latency=%v", t.Graph.Name(), t.RUs, t.Latency),
+		Payload:     payload,
+	})
+}
+
+// Install wires s in as the mobility cache's persistent tier and returns
+// a restore function that reinstates whatever was installed before —
+// t.Cleanup fodder in tests, a no-op deferred call in the CLIs.
+func Install(s *resultstore.Store) (restore func()) {
+	prev := mobility.SetStore(NewTableStore(s))
+	return func() { mobility.SetStore(prev) }
+}

@@ -7,11 +7,12 @@
 //
 //   - allocs/event must be exactly 0 — the zero-allocation steady state
 //     is an invariant, not a trend, so it needs no baseline to check;
-//   - ns/event must not regress past a ratio of the previous run's
-//     value — a trend rule, skipped (with a note) for benchmarks the
-//     previous artifact does not contain, and skipped entirely when
-//     there is no previous artifact at all (the first run on a branch
-//     bootstraps the baseline rather than failing).
+//   - the trend units (ns/event for the hot loop, ns/table for the
+//     design-time artifact cache) must not regress past a ratio of the
+//     previous run's value — a trend rule, skipped (with a note) for
+//     benchmarks the previous artifact does not contain, and skipped
+//     entirely when there is no previous artifact at all (the first run
+//     on a branch bootstraps the baseline rather than failing).
 //
 // Comparisons key on the benchmark name with the -GOMAXPROCS suffix
 // stripped, so a runner with a different core count still matches its
@@ -122,15 +123,20 @@ func parseBenchText(text string) (map[string]Metrics, error) {
 
 // Options tunes the gate.
 type Options struct {
-	// MaxRatio is the ns/event regression budget: a current value above
+	// MaxRatio is the trend-unit regression budget: a current value above
 	// previous × MaxRatio fails. Zero means the default 1.5 — generous
 	// against runner noise, far below an accidental re-introduction of
 	// per-event allocation (the LFD loop was 6× slower before pooling).
 	MaxRatio float64
 }
 
-// Gate checks cur against the rules, using prev as the ns/event
-// baseline; prev may be nil (no previous artifact — bootstrap run).
+// trendUnits are the custom metrics gated by the regression-ratio rule.
+// Absolute values are host-dependent; the ratio against the previous
+// artifact from the same runner pool is what the gate enforces.
+var trendUnits = []string{"ns/event", "ns/table"}
+
+// Gate checks cur against the rules, using prev as the trend baseline;
+// prev may be nil (no previous artifact — bootstrap run).
 // The returned report always describes every check performed, pass or
 // fail; err is non-nil if any rule failed.
 func Gate(cur, prev map[string]Metrics, opt Options) (string, error) {
@@ -158,31 +164,33 @@ func Gate(cur, prev map[string]Metrics, opt Options) (string, error) {
 				fmt.Fprintf(&b, "ok   %s: 0 allocs/event\n", n)
 			}
 		}
-		ns, ok := m["ns/event"]
-		if !ok {
-			continue
-		}
-		checked++
-		if prev == nil {
-			fmt.Fprintf(&b, "ok   %s: %.1f ns/event (no previous artifact — baseline recorded)\n", n, ns)
-			continue
-		}
-		pm, ok := prev[n]
-		if !ok {
-			fmt.Fprintf(&b, "ok   %s: %.1f ns/event (new benchmark — no baseline yet)\n", n, ns)
-			continue
-		}
-		pns, ok := pm["ns/event"]
-		if !ok || pns <= 0 {
-			fmt.Fprintf(&b, "ok   %s: %.1f ns/event (previous run reported no ns/event)\n", n, ns)
-			continue
-		}
-		r := ns / pns
-		if r > ratio {
-			violations++
-			fmt.Fprintf(&b, "FAIL %s: %.1f ns/event vs %.1f previously (%.2f×, budget %.2f×)\n", n, ns, pns, r, ratio)
-		} else {
-			fmt.Fprintf(&b, "ok   %s: %.1f ns/event vs %.1f previously (%.2f×)\n", n, ns, pns, r)
+		for _, unit := range trendUnits {
+			ns, ok := m[unit]
+			if !ok {
+				continue
+			}
+			checked++
+			if prev == nil {
+				fmt.Fprintf(&b, "ok   %s: %.1f %s (no previous artifact — baseline recorded)\n", n, ns, unit)
+				continue
+			}
+			pm, ok := prev[n]
+			if !ok {
+				fmt.Fprintf(&b, "ok   %s: %.1f %s (new benchmark — no baseline yet)\n", n, ns, unit)
+				continue
+			}
+			pns, ok := pm[unit]
+			if !ok || pns <= 0 {
+				fmt.Fprintf(&b, "ok   %s: %.1f %s (previous run reported no %s)\n", n, ns, unit, unit)
+				continue
+			}
+			r := ns / pns
+			if r > ratio {
+				violations++
+				fmt.Fprintf(&b, "FAIL %s: %.1f %s vs %.1f previously (%.2f×, budget %.2f×)\n", n, ns, unit, pns, r, ratio)
+			} else {
+				fmt.Fprintf(&b, "ok   %s: %.1f %s vs %.1f previously (%.2f×)\n", n, ns, unit, pns, r)
+			}
 		}
 	}
 	if checked == 0 {

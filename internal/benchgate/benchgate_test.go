@@ -137,6 +137,31 @@ func TestGateNewBenchmarkHasNoBaseline(t *testing.T) {
 	}
 }
 
+// TestGateNsPerTableTrend: the artifact-cache benchmark's ns/table is
+// gated by the same regression ratio as the hot loop's ns/event.
+func TestGateNsPerTableTrend(t *testing.T) {
+	tables := func(ns float64) map[string]Metrics {
+		return map[string]Metrics{
+			"BenchmarkFig9ArtifactWarm": {"ns/table": ns},
+		}
+	}
+	prev := tables(1000)
+	if rep, err := Gate(tables(1400), prev, Options{}); err != nil {
+		t.Errorf("1.4× ns/table within default budget failed: %v\n%s", err, rep)
+	}
+	rep, err := Gate(tables(1600), prev, Options{})
+	if err == nil {
+		t.Errorf("1.6× ns/table past default budget passed:\n%s", rep)
+	}
+	if !strings.Contains(rep, "ns/table") {
+		t.Errorf("report does not name the regressed unit:\n%s", rep)
+	}
+	// ns/table alone satisfies the wrong-artifact guard.
+	if _, err := Gate(tables(10), nil, Options{}); err != nil {
+		t.Errorf("ns/table-only artifact refused: %v", err)
+	}
+}
+
 // TestGateRefusesEmptyArtifact: gating a stream with none of the
 // budgeted metrics means the wrong file was fed in — loud failure, not
 // a silent pass.

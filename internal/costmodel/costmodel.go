@@ -1,0 +1,133 @@
+// Package costmodel calibrates dispatch-cost estimates from measured
+// scenario wall times.
+//
+// The sweep executor dispatches scenarios longest-processing-time first,
+// which needs only a relative ordering of expected simulation times. The
+// result store records the measured wall time of every simulated
+// scenario (elapsed_ns); this package aggregates those measurements into
+// one small linear model per policy family:
+//
+//	elapsed ≈ a + b·(workload length / RUs)
+//
+// The regressor is the scenario's load — sequence length over unit
+// count, the same quantity the static heuristic scales — because per-
+// decision policy cost is what separates families, and decisions grow
+// with queue length and contention. Two observations of a family at
+// different loads pin its line; one pins a through-origin slope; a
+// family never measured at all falls back to the static heuristic
+// rescaled by the median measured-to-heuristic ratio across all
+// families — the pre-model behavior, kept as the last resort so a store
+// with any measurements always beats a cold heuristic.
+//
+// Models are cheap to update (constant-size running sums per family), so
+// the executor folds in live measurements as scenarios complete and
+// re-predicts the not-yet-dispatched remainder: a long sweep
+// self-calibrates mid-run, and a grid point never seen in any store is
+// ranked by its family's fitted line rather than a hand-tuned constant.
+// Predictions steer wall clock only, never results.
+package costmodel
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Model accumulates per-family observations and serves predictions.
+// The zero value is not usable; call New. Safe for concurrent use.
+type Model struct {
+	mu       sync.RWMutex
+	families map[string]*fit
+	ratios   []float64 // elapsed/heuristic of every observation, unsorted
+	n        int
+}
+
+// fit holds the running least-squares sums of one family's
+// (load, elapsed) observations.
+type fit struct {
+	n                        int
+	sumX, sumY, sumXX, sumXY float64
+}
+
+// New returns an empty model.
+func New() *Model {
+	return &Model{families: make(map[string]*fit)}
+}
+
+// Observe folds in one measured scenario: its family, load regressor x,
+// static heuristic cost, and measured wall time. Non-positive x or
+// elapsed observations carry no information and are ignored.
+func (m *Model) Observe(family string, x, heuristic float64, elapsed time.Duration) {
+	if x <= 0 || elapsed <= 0 {
+		return
+	}
+	y := float64(elapsed)
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	f := m.families[family]
+	if f == nil {
+		f = &fit{}
+		m.families[family] = f
+	}
+	f.n++
+	f.sumX += x
+	f.sumY += y
+	f.sumXX += x * x
+	f.sumXY += x * y
+	if heuristic > 0 {
+		m.ratios = append(m.ratios, y/heuristic)
+	}
+	m.n++
+}
+
+// Observations reports how many measurements the model holds.
+func (m *Model) Observations() int {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.n
+}
+
+// Predict estimates the wall time (in float64 nanoseconds, the
+// executor's cost scale) of a scenario with the given family, load and
+// static heuristic cost. ok is false only when the model holds no usable
+// information at all — no observation of the family and no ratio to
+// rescale the heuristic by — in which case the caller keeps its static
+// heuristic.
+func (m *Model) Predict(family string, x, heuristic float64) (cost float64, ok bool) {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	if f := m.families[family]; f != nil && f.n > 0 && x > 0 {
+		if f.n >= 2 {
+			// Least squares with intercept, unless the observed loads are
+			// (numerically) all equal — then the slope is unidentifiable
+			// and the through-origin ratio below is the honest estimate.
+			n := float64(f.n)
+			den := n*f.sumXX - f.sumX*f.sumX
+			if den > 1e-9*f.sumXX {
+				b := (n*f.sumXY - f.sumX*f.sumY) / den
+				a := (f.sumY - b*f.sumX) / n
+				if pred := a + b*x; pred > 0 {
+					return pred, true
+				}
+				// An extrapolation below zero (decreasing fit, small x)
+				// falls through to the ratio, which is always positive.
+			}
+		}
+		// Through-origin slope from the ratio of sums: exact for one
+		// observation, a load-weighted mean rate for several equal loads.
+		return x * f.sumY / f.sumX, true
+	}
+	// Family never measured: the static heuristic, rescaled onto the
+	// measured scale by the median observed ratio.
+	if len(m.ratios) == 0 || heuristic <= 0 {
+		return 0, false
+	}
+	return heuristic * median(m.ratios), true
+}
+
+// median of a non-empty slice, without mutating it.
+func median(v []float64) float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s[len(s)/2]
+}

@@ -1,0 +1,154 @@
+package costmodel
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+func approx(t *testing.T, got, want float64, what string) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-6*math.Abs(want)+1e-9 {
+		t.Errorf("%s = %v, want %v", what, got, want)
+	}
+}
+
+// TestPredictRecoversLine: two or more observations at distinct loads pin
+// the family's line exactly, including the intercept the through-origin
+// heuristic cannot express.
+func TestPredictRecoversLine(t *testing.T) {
+	m := New()
+	line := func(x float64) time.Duration { return time.Duration(1e6 + 250*x) }
+	for _, x := range []float64{6, 10, 15} {
+		m.Observe("lfd", x, 64*x, line(x))
+	}
+	for _, x := range []float64{4, 8.5, 20} { // interpolation and extrapolation
+		got, ok := m.Predict("lfd", x, 64*x)
+		if !ok {
+			t.Fatalf("Predict(x=%v) not ok with 3 observations", x)
+		}
+		approx(t, got, float64(line(x)), "fitted prediction")
+	}
+}
+
+// TestPredictSingleObservation: one observation gives a through-origin
+// slope — scale-correct even without an intercept.
+func TestPredictSingleObservation(t *testing.T) {
+	m := New()
+	m.Observe("lru", 10, 10, 500*time.Microsecond)
+	got, ok := m.Predict("lru", 15, 15)
+	if !ok {
+		t.Fatal("Predict not ok after one observation of the family")
+	}
+	approx(t, got, 1.5*float64(500*time.Microsecond), "through-origin prediction")
+}
+
+// TestPredictDegenerateLoads: several observations at one load cannot
+// identify a slope and an intercept; the model must fall back to the
+// ratio instead of dividing by a ~zero determinant.
+func TestPredictDegenerateLoads(t *testing.T) {
+	m := New()
+	m.Observe("lru", 10, 10, 2*time.Millisecond)
+	m.Observe("lru", 10, 10, 2*time.Millisecond)
+	got, ok := m.Predict("lru", 20, 20)
+	if !ok {
+		t.Fatal("Predict not ok")
+	}
+	approx(t, got, 2*float64(2*time.Millisecond), "degenerate-load prediction")
+}
+
+// TestPredictUnseenFamilyUsesMedianRescale: a family with no
+// observations gets the static heuristic rescaled by the median observed
+// elapsed/heuristic ratio — the pre-model fallback, kept as last resort.
+func TestPredictUnseenFamilyUsesMedianRescale(t *testing.T) {
+	m := New()
+	// Ratios 100, 200, 10000: the median (200) must win, not the mean.
+	m.Observe("a", 10, 10, 1000*10)
+	m.Observe("b", 10, 10, 2000*10)
+	m.Observe("c", 10, 10, 100000*10)
+	got, ok := m.Predict("never-seen", 10, 50)
+	if !ok {
+		t.Fatal("Predict not ok despite observed ratios")
+	}
+	approx(t, got, 50*2000, "median-rescaled heuristic")
+}
+
+// TestPredictEmptyModel: with nothing observed there is nothing to
+// calibrate with; the caller keeps its static heuristic.
+func TestPredictEmptyModel(t *testing.T) {
+	m := New()
+	if _, ok := m.Predict("any", 10, 10); ok {
+		t.Error("empty model claimed a prediction")
+	}
+	if m.Observations() != 0 {
+		t.Errorf("empty model reports %d observations", m.Observations())
+	}
+}
+
+// TestObserveIgnoresUseless: non-positive loads or timings carry no
+// information and must not poison the sums.
+func TestObserveIgnoresUseless(t *testing.T) {
+	m := New()
+	m.Observe("x", 0, 10, time.Second)
+	m.Observe("x", 10, 10, 0)
+	m.Observe("x", -5, 10, time.Second)
+	if m.Observations() != 0 {
+		t.Errorf("useless observations counted: %d", m.Observations())
+	}
+}
+
+// TestPredictionsAlwaysPositive: a decreasing fit extrapolated toward
+// x=0 must clamp to the positive ratio estimate, never hand the executor
+// a negative cost.
+func TestPredictionsAlwaysPositive(t *testing.T) {
+	m := New()
+	// Steeply decreasing: elapsed falls as load grows.
+	m.Observe("weird", 10, 10, 10*time.Millisecond)
+	m.Observe("weird", 20, 20, 1*time.Millisecond)
+	got, ok := m.Predict("weird", 1, 1)
+	if !ok || got <= 0 {
+		t.Fatalf("Predict = %v, %v; want a positive fallback", got, ok)
+	}
+}
+
+// TestIncrementalSelfCalibration is the mid-run shape: the model starts
+// on the global rescale for an unseen family and snaps to the family's
+// real scale the moment its first live measurement lands.
+func TestIncrementalSelfCalibration(t *testing.T) {
+	m := New()
+	m.Observe("cheap", 10, 10, 10*time.Microsecond) // ratio 1e3
+	before, ok := m.Predict("dear", 10, 640)
+	if !ok {
+		t.Fatal("no fallback prediction")
+	}
+	approx(t, before, 640*1e3, "pre-calibration fallback")
+	m.Observe("dear", 15, 960, 3*time.Second)
+	after, ok := m.Predict("dear", 10, 640)
+	if !ok {
+		t.Fatal("no prediction after live observation")
+	}
+	approx(t, after, float64(2*time.Second), "post-calibration family estimate")
+}
+
+// TestConcurrentObservePredict: the executor observes from its
+// coordinator while nothing stops future callers sharing a model.
+func TestConcurrentObservePredict(t *testing.T) {
+	m := New()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= 100; i++ {
+				m.Observe("f", float64(i), float64(i), time.Duration(i)*time.Microsecond)
+				m.Predict("f", float64(i), float64(i))
+				m.Predict("other", float64(i), float64(i))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if m.Observations() != 800 {
+		t.Errorf("observations = %d, want 800", m.Observations())
+	}
+}

@@ -1,12 +1,94 @@
 package mobility
 
 import (
+	"encoding/json"
+	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 
+	"repro/internal/simtime"
+	"repro/internal/taskgraph"
 	"repro/internal/workload"
 )
+
+// resetCache restores the pristine global cache state around a test that
+// touches counters or the persistent tier.
+func resetCache(t *testing.T) {
+	t.Helper()
+	FlushCache()
+	ResetStats()
+	prev := SetStore(nil)
+	t.Cleanup(func() {
+		SetStore(prev)
+		FlushCache()
+		ResetStats()
+	})
+}
+
+// reparse round-trips a template through its JSON encoding: identical
+// content, distinct pointer — the cross-process case fingerprint keying
+// exists for.
+func reparse(t *testing.T, g *taskgraph.Graph) *taskgraph.Graph {
+	t.Helper()
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := taskgraph.FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 == g {
+		t.Fatal("reparse returned the same pointer")
+	}
+	return g2
+}
+
+// fakeTableStore is an in-memory persistent tier for cache tests (the
+// real adapter over the result store lives in internal/artifact, which
+// imports this package and so cannot be used here).
+type fakeTableStore struct {
+	mu            sync.Mutex
+	m             map[string][]byte
+	loads, stores int
+}
+
+func newFakeTableStore() *fakeTableStore {
+	return &fakeTableStore{m: make(map[string][]byte)}
+}
+
+func (f *fakeTableStore) key(fp string, rus int, latency simtime.Time) string {
+	return fmt.Sprintf("%s|%d|%d", fp, rus, latency)
+}
+
+func (f *fakeTableStore) LoadTable(g *taskgraph.Graph, rus int, latency simtime.Time) (*Table, bool) {
+	f.mu.Lock()
+	data, ok := f.m[f.key(g.Fingerprint(), rus, latency)]
+	f.loads++
+	f.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	t, err := TableFromJSON(data, g)
+	if err != nil {
+		return nil, false
+	}
+	return t, true
+}
+
+func (f *fakeTableStore) StoreTable(t *Table) error {
+	data, err := json.Marshal(t)
+	if err != nil {
+		return err
+	}
+	f.mu.Lock()
+	f.m[f.key(t.Graph.Fingerprint(), t.RUs, t.Latency)] = data
+	f.stores++
+	f.mu.Unlock()
+	return nil
+}
 
 func TestCachedMatchesCompute(t *testing.T) {
 	defer FlushCache()
@@ -129,5 +211,150 @@ func TestCachedNilGraph(t *testing.T) {
 	}
 	if CacheLen() != 0 {
 		t.Error("failed computation was memoized")
+	}
+}
+
+// TestCachedFingerprintKeyed is the satellite fix's pin: the cache key
+// is the graph's content, not its pointer. A template re-parsed from its
+// own JSON must hit the table its original computed, with the returned
+// table rebound to the requesting pointer so run-time Lookup works.
+func TestCachedFingerprintKeyed(t *testing.T) {
+	resetCache(t)
+	g := workload.JPEG()
+	g2 := reparse(t, g)
+	first, err := Cached(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := Cached(g2, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats()
+	if st.Computes != 1 {
+		t.Fatalf("computes = %d, want 1 — the re-parsed template must hit, not recompute", st.Computes)
+	}
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 1/1", st.Hits, st.Misses)
+	}
+	if CacheLen() != 1 {
+		t.Errorf("cache holds %d entries, want 1", CacheLen())
+	}
+	if second.Graph != g2 {
+		t.Error("hit for the re-parsed template is not bound to its pointer")
+	}
+	if !reflect.DeepEqual(first.Values, second.Values) || first.RefMakespan != second.RefMakespan {
+		t.Error("rebound table diverges from the computed one")
+	}
+}
+
+// TestCachedAllDuplicateContent: a pool holding two content-identical
+// pointers must produce a lookup that resolves both — the memoized table
+// serves each, bound per pointer.
+func TestCachedAllDuplicateContent(t *testing.T) {
+	resetCache(t)
+	g := workload.MPEG1()
+	g2 := reparse(t, g)
+	lookup, tables, err := CachedAll([]*taskgraph.Graph{g, g2}, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 2 {
+		t.Fatalf("got %d tables, want one per requesting pointer", len(tables))
+	}
+	if Stats().Computes != 1 {
+		t.Fatalf("computes = %d, want 1 for content-identical templates", Stats().Computes)
+	}
+	for _, gg := range []*taskgraph.Graph{g, g2} {
+		if lookup(gg) == nil {
+			t.Fatalf("lookup(%s@%p) = nil — a pointer in the pool resolved no mobilities", gg.Name(), gg)
+		}
+	}
+}
+
+// TestCachedStoreTier covers the persistent second tier end to end:
+// a cold process computes and writes back; a "new process" (flushed map,
+// fresh counters) loads from the tier with zero computes; the loaded
+// table is the computed one.
+func TestCachedStoreTier(t *testing.T) {
+	resetCache(t)
+	ts := newFakeTableStore()
+	SetStore(ts)
+	g := workload.Hough()
+
+	cold, err := Cached(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := Stats()
+	if st.Computes != 1 || st.StoreMisses != 1 || st.StoreWrites != 1 || st.StoreHits != 0 {
+		t.Fatalf("cold stats %+v, want 1 compute, 1 store miss, 1 write-back", st)
+	}
+
+	// Second process: the in-memory map is gone, the tier persists.
+	FlushCache()
+	ResetStats()
+	warm, err := Cached(g, 4, workload.PaperLatency())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st = Stats()
+	if st.Computes != 0 {
+		t.Fatalf("warm process computed %d tables; the tier should have served it", st.Computes)
+	}
+	if st.StoreHits != 1 || st.StoreWrites != 0 {
+		t.Fatalf("warm stats %+v, want exactly one store hit and no write-back", st)
+	}
+	if !reflect.DeepEqual(warm.Values, cold.Values) || warm.RefMakespan != cold.RefMakespan {
+		t.Error("tier-served table diverges from the computed one")
+	}
+
+	// Single-flight holds across the tier: many concurrent callers of a
+	// flushed key still probe the store exactly once.
+	FlushCache()
+	ResetStats()
+	before := ts.loads
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := Cached(g, 4, workload.PaperLatency()); err != nil {
+				t.Error(err)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := ts.loads - before; got != 1 {
+		t.Errorf("concurrent cold callers probed the tier %d times, want 1 (single-flight)", got)
+	}
+}
+
+// TestDigestLine pins the stderr digest the CLIs print and the CI
+// artifact-reuse gate greps.
+func TestDigestLine(t *testing.T) {
+	resetCache(t)
+	if line := DigestLine(); line != "" {
+		t.Fatalf("idle cache digest = %q, want empty", line)
+	}
+	g := workload.JPEG()
+	if _, err := Cached(g, 4, workload.PaperLatency()); err != nil {
+		t.Fatal(err)
+	}
+	line := DigestLine()
+	want := "design-time cache: 1 tables, 0 hits, 1 misses, 1 computes; artifact tier: off"
+	if line != want {
+		t.Errorf("no-tier digest = %q, want %q", line, want)
+	}
+
+	FlushCache()
+	ResetStats()
+	SetStore(newFakeTableStore())
+	if _, err := Cached(g, 4, workload.PaperLatency()); err != nil {
+		t.Fatal(err)
+	}
+	line = DigestLine()
+	if !strings.Contains(line, "1 computes; artifact tier: 0 hits, 1 misses, 1 stored") {
+		t.Errorf("tiered digest = %q", line)
 	}
 }

@@ -81,6 +81,10 @@ type Store struct {
 	misses atomic.Int64
 	puts   atomic.Int64
 
+	artHits   atomic.Int64
+	artMisses atomic.Int64
+	artPuts   atomic.Int64
+
 	writeFailures atomic.Int64
 	firstWriteErr atomic.Pointer[string]
 }
@@ -302,6 +306,9 @@ func (s *Store) SummaryLine() string {
 	hits, misses, puts := s.Stats()
 	line := fmt.Sprintf("result store: %d hits, %d misses, %d entries written (%s)",
 		hits, misses, puts, s.Dir())
+	if ah, am, ap := s.ArtifactStats(); ah+am+ap > 0 {
+		line += fmt.Sprintf("; artifacts: %d hits, %d misses, %d written", ah, am, ap)
+	}
 	if fails := s.writeFailures.Load(); fails > 0 {
 		line += fmt.Sprintf("; %d writes FAILED (first: %s)", fails, *s.firstWriteErr.Load())
 	}
@@ -326,7 +333,8 @@ func RunGC(s *Store) (string, error) {
 
 // GCStats summarizes one garbage collection pass.
 type GCStats struct {
-	// Kept is the number of valid current-schema entries left in place.
+	// Kept is the number of valid entries left in place: current-schema
+	// results plus servable design-time artifacts.
 	Kept int
 	// Removed is the number of files deleted: stale-schema entries,
 	// undecodable files, entries whose key does not match their filename,
@@ -336,14 +344,21 @@ type GCStats struct {
 
 // GC walks the store and deletes every entry that the current code
 // could never serve: wrong schema version, undecodable bytes, or a
-// recorded key that does not match the key it is filed under. Backend
-// junk (leftover temp files and the like) is swept too and counted in
-// Removed.
+// recorded key that does not match the key it is filed under. An entry
+// survives when it is servable either as a result (decodeServable) or
+// as a design-time artifact (decodeArtifactServable) — the two
+// envelopes share the key space, and a result-schema bump must not
+// throw away design-time work. Backend junk (leftover temp files and
+// the like) is swept too and counted in Removed.
 func (s *Store) GC() (GCStats, error) {
 	var st GCStats
 	var stale []string
 	junk, err := s.b.Visit(func(key string, data []byte) error {
 		if _, ok := decodeServable(key, data); ok {
+			st.Kept++
+			return nil
+		}
+		if _, ok := decodeArtifactServable(key, data); ok {
 			st.Kept++
 			return nil
 		}

@@ -368,6 +368,125 @@ func Conformance(t *testing.T, b Backend) {
 		}
 	})
 
+	t.Run("ArtifactRoundTrip", func(t *testing.T) {
+		s, _ := b.Open(t)
+		key := Key(10)
+		if _, ok := s.GetArtifact(key, "mobility-table", 1); ok {
+			t.Fatal("artifact hit on empty store")
+		}
+		want := &resultstore.Artifact{
+			Kind:        "mobility-table",
+			KindVersion: 1,
+			Label:       "conformance",
+			Payload:     json.RawMessage(`{"graph":"jpeg","rus":4}`),
+		}
+		if err := s.PutArtifact(key, want); err != nil {
+			t.Fatal(err)
+		}
+		got, ok := s.GetArtifact(key, "mobility-table", 1)
+		if !ok {
+			t.Fatal("artifact miss after PutArtifact")
+		}
+		if got.Schema != resultstore.ArtifactSchemaVersion || got.Key != key {
+			t.Errorf("artifact stamped schema=%d key=%q", got.Schema, got.Key)
+		}
+		if got.Kind != want.Kind || got.KindVersion != want.KindVersion ||
+			got.Label != want.Label || string(got.Payload) != string(want.Payload) {
+			t.Errorf("artifact round trip mutated the entry:\ngot  %+v\nwant %+v", got, want)
+		}
+		// Wrong kind or version is a miss, never a cross-serve.
+		if _, ok := s.GetArtifact(key, "other-kind", 1); ok {
+			t.Error("artifact served under the wrong kind")
+		}
+		if _, ok := s.GetArtifact(key, "mobility-table", 2); ok {
+			t.Error("artifact served under the wrong kind version")
+		}
+		if hits, misses, puts := s.ArtifactStats(); hits != 1 || misses != 3 || puts != 1 {
+			t.Errorf("artifact stats = %d/%d/%d, want 1/3/1", hits, misses, puts)
+		}
+		// Artifact traffic stays off the result counters and vice versa.
+		if hits, misses, puts := s.Stats(); hits+misses+puts != 0 {
+			t.Errorf("artifact traffic leaked into result stats %d/%d/%d", hits, misses, puts)
+		}
+		if !strings.Contains(s.SummaryLine(), "artifacts: 1 hits, 3 misses, 1 written") {
+			t.Errorf("summary line %q lacks the artifact digest", s.SummaryLine())
+		}
+	})
+
+	t.Run("ArtifactResultMutualUnservability", func(t *testing.T) {
+		s, _ := b.Open(t)
+		rKey, aKey := Key(11), Key(12)
+		if err := s.Put(rKey, sampleEntry("result")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutArtifact(aKey, &resultstore.Artifact{
+			Kind: "k", KindVersion: 1, Payload: json.RawMessage(`{}`),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get(aKey); ok {
+			t.Error("artifact served as a result")
+		}
+		if _, ok := s.GetArtifact(rKey, "k", 1); ok {
+			t.Error("result served as an artifact")
+		}
+		if _, ok := s.ElapsedHint(aKey); ok {
+			t.Error("artifact served an elapsed hint")
+		}
+	})
+
+	t.Run("ArtifactSurvivesResultGC", func(t *testing.T) {
+		s, _ := b.Open(t)
+		rKey, aKey := Key(13), Key(14)
+		if err := s.Put(rKey, sampleEntry("doomed")); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.PutArtifact(aKey, &resultstore.Artifact{
+			Kind: "k", KindVersion: 1, Payload: json.RawMessage(`{}`),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// A result-schema bump staleifies the result but not the
+		// artifact: artifact servability keys off "artifact_schema",
+		// which StaleifySchema leaves alone.
+		StaleifySchema(t, s)
+		st, err := s.GC()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Kept != 1 || st.Removed != 1 {
+			t.Errorf("gc kept %d removed %d, want the artifact kept and the stale result removed", st.Kept, st.Removed)
+		}
+		if _, ok := s.GetArtifact(aKey, "k", 1); !ok {
+			t.Error("artifact lost across a result-schema GC")
+		}
+		// A mangled artifact (empty kind) is unservable junk and goes.
+		if err := s.Backend().Store(aKey, []byte(`{"artifact_schema":1,"key":"`+aKey+`","kind":"","payload":{}}`)); err != nil {
+			t.Fatal(err)
+		}
+		if st, err := s.GC(); err != nil || st.Removed != 1 {
+			t.Errorf("gc = %+v, %v; want the mangled artifact removed", st, err)
+		}
+	})
+
+	t.Run("ArtifactReopenPersists", func(t *testing.T) {
+		s, reopen := b.Open(t)
+		key := Key(15)
+		if err := s.PutArtifact(key, &resultstore.Artifact{
+			Kind: "k", KindVersion: 3, Payload: json.RawMessage(`{"v":1}`),
+		}); err != nil {
+			t.Fatal(err)
+		}
+		s2 := reopen(t)
+		got, ok := s2.GetArtifact(key, "k", 3)
+		if !ok || string(got.Payload) != `{"v":1}` {
+			t.Fatalf("reopened handle artifact = %+v, %v", got, ok)
+		}
+		if hits, misses, puts := s2.ArtifactStats(); hits != 1 || misses != 0 || puts != 0 {
+			t.Errorf("reopened artifact stats = %d/%d/%d, want fresh counters 1/0/0", hits, misses, puts)
+		}
+	})
+
 	t.Run("ConcurrentPutGet", func(t *testing.T) {
 		s, _ := b.Open(t)
 		const workers = 8

@@ -1,0 +1,116 @@
+package sweep
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/resultstore"
+)
+
+// trueCostLine is the fabricated ground truth for one policy family:
+// elapsed = intercept + slope·(workload length / RUs). The slopes and
+// intercepts differ per family in a way no single global rescale of the
+// static heuristic can reproduce — in particular the heuristic ranks
+// LRU below both Local LFD variants at every load, while the truth here
+// puts LRU above them (its intercept dominates at fig9 loads).
+type trueCostLine struct{ slope, intercept float64 }
+
+var trueCosts = map[string]trueCostLine{
+	"fixed:LRU":       {slope: 5e3, intercept: 2e6},
+	"locallfd:1":      {slope: 9e3, intercept: 1e6},
+	"locallfd:1+skip": {slope: 7e3, intercept: 5e5},
+	"fixed:LFD":       {slope: 4e5, intercept: 5e7},
+}
+
+func trueElapsed(sc *Scenario) time.Duration {
+	line, ok := trueCosts[costFamily(sc)]
+	if !ok {
+		panic("no true cost line for family " + costFamily(sc))
+	}
+	return time.Duration(line.intercept + line.slope*scenarioLoad(sc))
+}
+
+// inversions counts scenario pairs whose cost ranking contradicts the
+// true elapsed-time ranking — the disagreement between the dispatch
+// order a cost vector produces and the ideal LPT order. Ties in cost
+// are not inversions (the executor breaks them by spec position).
+func inversions(costs []float64, truth []time.Duration) int {
+	inv := 0
+	for i := range costs {
+		for j := range costs {
+			if truth[i] > truth[j] && costs[i] < costs[j] {
+				inv++
+			}
+		}
+	}
+	return inv
+}
+
+// TestCalibratedDispatchBeatsHeuristic is the dispatch-order quality
+// property: with stored fig9 timings for a strict subset of the grid
+// (three of seven unit counts, so every family has measurements at
+// several loads but most grid points have none), the calibrated cost
+// vector must order the grid at least as close to the true elapsed-time
+// LPT order as the static heuristic does. With linear per-family ground
+// truth the fitted model recovers the lines exactly, so the calibrated
+// order matches the truth outright — zero inversions — while the
+// heuristic, whose fixed policy weights contradict the fabricated
+// reality, keeps a nonzero disagreement.
+func TestCalibratedDispatchBeatsHeuristic(t *testing.T) {
+	spec := fig9Spec(t, 4, 5, 6, 7, 8, 9, 10)
+	spec.NoBaseline = true
+	scenarios, err := spec.Expand()
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := openStore(t)
+	measuredRUs := map[int]bool{4: true, 7: true, 10: true}
+	stored := 0
+	for i := range scenarios {
+		if !measuredRUs[scenarios[i].RUs] {
+			continue
+		}
+		ent := &resultstore.Entry{
+			ElapsedNS: int64(trueElapsed(&scenarios[i])),
+			Run:       &resultstore.Run{Executed: 1, Graphs: 1},
+		}
+		if err := store.Put(keys[i], ent); err != nil {
+			t.Fatal(err)
+		}
+		stored++
+	}
+	if stored == 0 || stored == len(scenarios) {
+		t.Fatalf("stored %d of %d scenarios; the property needs a strict, non-empty subset", stored, len(scenarios))
+	}
+
+	owned := make([]int, len(scenarios))
+	truth := make([]time.Duration, len(scenarios))
+	heuristic := make([]float64, len(scenarios))
+	calibrated := make([]float64, len(scenarios))
+	for i := range scenarios {
+		owned[i] = i
+		truth[i] = trueElapsed(&scenarios[i])
+		heuristic[i] = estimatedCost(&scenarios[i])
+		calibrated[i] = heuristic[i]
+	}
+	cal := newCostCalibrator(store, scenarios, owned, keys)
+	cal.apply(calibrated, nil)
+
+	invCal := inversions(calibrated, truth)
+	invHeur := inversions(heuristic, truth)
+	t.Logf("inversions vs true LPT order: calibrated %d, heuristic %d (%d scenarios, %d measured)",
+		invCal, invHeur, len(scenarios), stored)
+	if invHeur == 0 {
+		t.Fatal("static heuristic already matches the fabricated truth — the property proves nothing")
+	}
+	if invCal > invHeur {
+		t.Fatalf("calibrated order has %d inversions vs truth, heuristic %d — the model made dispatch worse", invCal, invHeur)
+	}
+	if invCal != 0 {
+		t.Errorf("calibrated order has %d inversions vs linear truth; the per-family fit should recover exact lines", invCal)
+	}
+}

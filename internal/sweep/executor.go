@@ -3,12 +3,12 @@ package sweep
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"repro/internal/costmodel"
 	"repro/internal/dynlist"
 	"repro/internal/manager"
 	"repro/internal/metrics"
@@ -35,9 +35,11 @@ import (
 // single straggler. With a Store attached, the estimate prefers the
 // measured wall time a previous run recorded with each entry (served by
 // ElapsedHint across schema versions, so even the full re-simulation
-// after a schema bump dispatches on real measurements) and falls back to
-// the static heuristic, rescaled onto the measured scale, for scenarios
-// never simulated before. Collection stays in spec order either way, held to a
+// after a schema bump dispatches on real measurements); scenarios never
+// simulated before are predicted by a per-policy-family linear cost
+// model fitted over those measurements and updated live as completions
+// land (see internal/costmodel and costCalibrator), so even never-seen
+// grid points rank on calibrated estimates. Collection stays in spec order either way, held to a
 // bounded reorder window so a sweep never buffers more than O(workers)
 // completed results — the property that lets SummaryCollector sweeps run
 // grids far larger than memory would hold as ResultSets. The memory
@@ -200,16 +202,20 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	// Dispatch cost estimates (spec order is free: cost identical ⇒ the
 	// earlier position wins the scan below). With a store attached, a
 	// scenario whose previous simulation left a measured wall time behind
-	// is ranked by that measurement instead of the static heuristic; the
-	// heuristic costs of the remaining scenarios are rescaled onto the
-	// measured scale so the two stay comparable within one grid.
+	// is ranked by that measurement; the rest are predicted by a linear
+	// cost model fitted per policy family over the measurements (see
+	// internal/costmodel), falling back to the static heuristic only when
+	// nothing has ever been measured. The calibrator keeps learning from
+	// live completions below, so long sweeps self-calibrate mid-run.
 	costs := make([]float64, len(owned))
+	var calib *costCalibrator
 	if !e.SpecOrderDispatch {
 		for p, i := range owned {
 			costs[p] = estimatedCost(&scenarios[i])
 		}
 		if keys != nil {
-			applyMeasuredCosts(e.Store, owned, keys, costs)
+			calib = newCostCalibrator(e.Store, scenarios, owned, keys)
+			calib.apply(costs, nil)
 		}
 	}
 
@@ -324,6 +330,13 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 				continue // the sweep already failed; drop the result
 			}
 			pending[done.pos] = done.res
+			if calib != nil && done.res.Elapsed > 0 {
+				// A live simulation just measured itself (store serves have
+				// Elapsed == 0 and teach nothing): fold it into the model
+				// and re-rank what has not been dispatched yet.
+				calib.observe(done.pos, done.res.Elapsed)
+				calib.apply(costs, dispatched)
+			}
 			if e.observePending != nil {
 				e.observePending(len(pending) + inFlight)
 			}
@@ -358,46 +371,108 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	return collectErr
 }
 
-// applyMeasuredCosts overwrites heuristic dispatch costs with measured
-// wall times where the store has them (ElapsedHint serves timings across
+// costCalibrator ranks dispatch on measured reality instead of the
+// static heuristic. At construction it probes the store for every owned
+// scenario's measured wall time (ElapsedHint serves timings across
 // schema versions — after a bump, the warm re-run that re-simulates
 // everything is exactly the run that profits most from last time's
-// measurements). Scenarios without a measurement keep their heuristic
-// cost, rescaled by the median measured-to-heuristic ratio of the
-// scenarios that have both, so a measured 3 s scenario and an unmeasured
-// heuristic-64 one sort on one comparable scale. Like the heuristic
-// itself this affects wall clock only, never results.
+// measurements) and seeds a per-policy-family linear cost model with
+// them. apply then writes each position's best estimate: the exact
+// measurement where one exists, the family's fitted prediction
+// otherwise (internal/costmodel's fallback chain ends at the rescaled
+// heuristic, so a never-measured grid still sorts sensibly). As live
+// completions land, observe feeds them back in and apply re-ranks the
+// undispatched remainder — a cold sweep calibrates itself mid-run. Like
+// the heuristic, all of this affects wall clock only, never results.
 //
-// On a fully warm run each entry file is read twice — the probe here,
-// the serve in runStored. Deliberate: memoizing decoded entries between
-// the two would hold O(grid) raw results and break the executor's
-// O(workers) memory bound, while the second read hits the page cache
-// and a warm serve is ~instant regardless of its dispatch position.
-func applyMeasuredCosts(store *resultstore.Store, owned []int, keys []string, costs []float64) {
-	measured := make([]float64, len(owned))
-	var ratios []float64
+// On a fully warm run each entry file is read twice — the hint probe
+// here, the serve in runStored. Deliberate: memoizing decoded entries
+// between the two would hold O(grid) raw results and break the
+// executor's O(workers) memory bound, while the second read hits the
+// page cache and a warm serve is ~instant regardless of its dispatch
+// position.
+type costCalibrator struct {
+	model     *costmodel.Model
+	family    []string  // per owned position: policy family key
+	load      []float64 // per owned position: workload length / RUs
+	heuristic []float64 // per owned position: static estimatedCost
+	measured  []float64 // per owned position: stored wall time (ns), 0 if none
+}
+
+// newCostCalibrator probes the store for every owned scenario and seeds
+// the model. keys index the full grid; owned positions map into it.
+func newCostCalibrator(store *resultstore.Store, scenarios []Scenario, owned []int, keys []string) *costCalibrator {
+	cal := &costCalibrator{
+		model:     costmodel.New(),
+		family:    make([]string, len(owned)),
+		load:      make([]float64, len(owned)),
+		heuristic: make([]float64, len(owned)),
+		measured:  make([]float64, len(owned)),
+	}
 	for p, i := range owned {
-		hint, ok := store.ElapsedHint(keys[i])
-		if !ok {
+		sc := &scenarios[i]
+		cal.family[p] = costFamily(sc)
+		cal.load[p] = scenarioLoad(sc)
+		cal.heuristic[p] = estimatedCost(sc)
+		if hint, ok := store.ElapsedHint(keys[i]); ok {
+			cal.measured[p] = float64(hint)
+			cal.model.Observe(cal.family[p], cal.load[p], cal.heuristic[p], hint)
+		}
+	}
+	return cal
+}
+
+// apply writes the current best cost estimate for every position not yet
+// dispatched (dispatched == nil means all): the measurement where one
+// exists, the model's prediction otherwise, the untouched heuristic only
+// while the model knows nothing at all.
+func (cal *costCalibrator) apply(costs []float64, dispatched []bool) {
+	for p := range costs {
+		if dispatched != nil && dispatched[p] {
 			continue
 		}
-		measured[p] = float64(hint)
-		if costs[p] > 0 {
-			ratios = append(ratios, measured[p]/costs[p])
+		if cal.measured[p] > 0 {
+			costs[p] = cal.measured[p]
+			continue
+		}
+		if pred, ok := cal.model.Predict(cal.family[p], cal.load[p], cal.heuristic[p]); ok {
+			costs[p] = pred
 		}
 	}
-	if len(ratios) == 0 {
-		return
+}
+
+// observe folds one live completion's measured wall time into the model.
+func (cal *costCalibrator) observe(p int, elapsed time.Duration) {
+	cal.model.Observe(cal.family[p], cal.load[p], cal.heuristic[p], elapsed)
+}
+
+// costFamily buckets a scenario for cost modeling: the policy's
+// canonical key plus the event-skip and prefetch flags, i.e. exactly the
+// policy-side inputs that change how much work one decision costs.
+// Scenarios of one family differ only in workload and unit count, which
+// is what the model's load regressor captures.
+func costFamily(sc *Scenario) string {
+	key := sc.Policy.Key
+	if key == "" {
+		key = "name:" + sc.Policy.Name
 	}
-	sort.Float64s(ratios)
-	scale := ratios[len(ratios)/2]
-	for p := range costs {
-		if measured[p] > 0 {
-			costs[p] = measured[p]
-		} else {
-			costs[p] *= scale
-		}
+	if sc.Policy.Skip {
+		key += "+skip"
 	}
+	if sc.Policy.CrossGraphPrefetch {
+		key += "+prefetch"
+	}
+	if sc.Policy.ConservativePrefetch {
+		key += "+conserve"
+	}
+	return key
+}
+
+// scenarioLoad is the cost model's regressor: workload length over unit
+// count — decisions grow with queue length and contention shrinks with
+// units, the same shape the static heuristic scales by policy weight.
+func scenarioLoad(sc *Scenario) float64 {
+	return float64(len(sc.Workload.Seq)) / float64(sc.RUs)
 }
 
 // estimatedCost ranks a scenario for dispatch order: a heuristic for

@@ -1,0 +1,98 @@
+package taskgraph
+
+import (
+	"encoding/json"
+	"sync"
+	"testing"
+
+	"repro/internal/simtime"
+)
+
+func fpGraph(t *testing.T, name string, exec simtime.Time) *Graph {
+	t.Helper()
+	g, err := NewBuilder(name).
+		AddTask(1, "a", exec).
+		AddTask(2, "b", exec).
+		AddDep(1, 2).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestFingerprintContentKeyed: identical content ⇒ identical
+// fingerprint across distinct pointers; any content change ⇒ different
+// fingerprint.
+func TestFingerprintContentKeyed(t *testing.T) {
+	a := fpGraph(t, "g", simtime.FromMs(5))
+	b := fpGraph(t, "g", simtime.FromMs(5))
+	if a == b {
+		t.Fatal("helper returned one pointer twice")
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Error("content-identical graphs fingerprint differently")
+	}
+	if len(a.Fingerprint()) != 64 {
+		t.Errorf("fingerprint %q is not 64-hex", a.Fingerprint())
+	}
+	for _, other := range []*Graph{
+		fpGraph(t, "g2", simtime.FromMs(5)), // name
+		fpGraph(t, "g", simtime.FromMs(6)),  // exec times
+	} {
+		if other.Fingerprint() == a.Fingerprint() {
+			t.Errorf("distinct graph %s shares a's fingerprint", other.Name())
+		}
+	}
+	// Structure: same tasks, no dependency.
+	loose, err := NewBuilder("g").
+		AddTask(1, "a", simtime.FromMs(5)).
+		AddTask(2, "b", simtime.FromMs(5)).
+		Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loose.Fingerprint() == a.Fingerprint() {
+		t.Error("dropping a dependency did not change the fingerprint")
+	}
+}
+
+// TestFingerprintSurvivesReparse is the cross-process property the
+// artifact cache keys on: a graph re-parsed from its own JSON in another
+// process derives the same fingerprint.
+func TestFingerprintSurvivesReparse(t *testing.T) {
+	g := fpGraph(t, "roundtrip", simtime.FromMs(7))
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := FromJSON(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.Fingerprint() != g.Fingerprint() {
+		t.Errorf("fingerprint changed across a JSON round trip: %s vs %s",
+			g.Fingerprint()[:12], g2.Fingerprint()[:12])
+	}
+}
+
+// TestFingerprintConcurrent: the lazy memoization must be safe under
+// concurrent first use.
+func TestFingerprintConcurrent(t *testing.T) {
+	g := fpGraph(t, "conc", simtime.FromMs(3))
+	var wg sync.WaitGroup
+	got := make([]string, 16)
+	for i := range got {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			got[i] = g.Fingerprint()
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(got); i++ {
+		if got[i] != got[0] {
+			t.Fatalf("concurrent fingerprints diverge: %q vs %q", got[i], got[0])
+		}
+	}
+}

@@ -14,8 +14,11 @@
 package taskgraph
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/simtime"
 )
@@ -47,6 +50,31 @@ type Graph struct {
 	rec   []int    // reconfiguration sequence (local indices, topological)
 	recID []TaskID // rec as TaskIDs, precomputed once at Build time
 	maxID TaskID   // largest TaskID in the graph
+
+	fpOnce sync.Once // guards fp (content fingerprint, computed lazily)
+	fp     string
+}
+
+// Fingerprint returns the template's content fingerprint: lowercase hex
+// SHA-256 of its canonical JSON encoding (sorted dependencies, explicit
+// reconfiguration sequence, millisecond execution times). Two templates
+// with identical content share a fingerprint even when they are distinct
+// pointers — in particular a template re-parsed from its own JSON in
+// another process — which is what lets design-time artifacts computed
+// once be reused across processes and hosts. Memoized on first use; safe
+// for concurrent use.
+func (g *Graph) Fingerprint() string {
+	g.fpOnce.Do(func() {
+		data, err := g.MarshalJSON()
+		if err != nil {
+			// A Builder-validated graph always encodes; colliding silently
+			// on an empty fingerprint would be far worse than failing loud.
+			panic(fmt.Sprintf("taskgraph: fingerprint %q: %v", g.name, err))
+		}
+		sum := sha256.Sum256(data)
+		g.fp = hex.EncodeToString(sum[:])
+	})
+	return g.fp
 }
 
 // MaxTaskID returns the largest TaskID used by the graph. Array-backed
