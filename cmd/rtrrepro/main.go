@@ -21,6 +21,15 @@
 //	every host:  rtrrepro -store /shared/store -coord /shared/coord -coord-shards 16
 //	any host:    rtrrepro -store /shared/store -coord /shared/coord -merge-report -watch > report.txt
 //
+// The store and coordinator need not be directories at all: with an
+// rtrserved control plane the same commands run over the wire —
+//
+//	every host:  rtrrepro -store http://host:8080/c/ID -coord http://host:8080/c/ID
+//	any host:    rtrrepro -store http://host:8080/c/ID -coord http://host:8080/c/ID -merge-report -watch
+//
+// (-auth-token/-http-timeout tune the wire client; see EXPERIMENTS.md
+// "Running a sweep service").
+//
 // Each worker claims the next unleased shard, heartbeats while it
 // populates the store, marks the shard done and claims another until
 // none remain. A worker that dies mid-shard stops heartbeating; once its
@@ -58,6 +67,8 @@ import (
 	"strings"
 
 	"repro/internal/artifact"
+	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/coord"
 	"repro/internal/experiments"
 	"repro/internal/mobility"
@@ -69,26 +80,14 @@ import (
 
 func main() {
 	var (
-		only     = flag.String("only", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs(), ", "))
-		seed     = flag.Int64("seed", 2011, "workload generation seed")
-		apps     = flag.Int("apps", 500, "number of applications in the Fig. 9 workload")
-		rus      = flag.String("rus", "4-10", "reconfigurable-unit sweep, e.g. \"4-10\" or \"3,4,6\"")
-		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
-		csv      = flag.Bool("csv", false, "also emit CSV after each figure table")
-		parallel = flag.Int("parallel", 0, "concurrently simulated scenarios per experiment (0 = one per CPU; reports are identical at any setting)")
-		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store locator: a directory (or fs:DIR), mem:, or sqlite:FILE.db (default: $RTR_STORE); warm re-runs serve unchanged scenarios from the store")
-		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
-		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
-		shardStr = flag.String("shard", "", "run only shard i/N of every grid experiment into -store (e.g. \"0/2\"); renders no report")
-		merge    = flag.Bool("merge-report", false, "render the report purely from -store (populated by N -shard runs); a missing grid scenario is an error")
+		only    = flag.String("only", "", "comma-separated experiment ids (default: all); known: "+strings.Join(experiments.IDs(), ", "))
+		seed    = flag.Int64("seed", 2011, "workload generation seed")
+		apps    = flag.Int("apps", 500, "number of applications in the Fig. 9 workload")
+		rus     = flag.String("rus", "4-10", "reconfigurable-unit sweep, e.g. \"4-10\" or \"3,4,6\"")
+		latency = flag.Float64("latency", 4, "reconfiguration latency in ms")
+		csv     = flag.Bool("csv", false, "also emit CSV after each figure table")
 
-		coordDir     = flag.String("coord", "", "shard coordinator state locator (a directory, fs:DIR, mem:, or sqlite:FILE.db): claim, heartbeat and re-lease shards from a self-healing pool into -store; every host runs this same command")
-		coordShards  = flag.Int("coord-shards", 0, "total shard count for the -coord pool; the first worker persists it, later workers may omit it (0) or must agree")
-		coordWorkers = flag.Int("coord-workers", 1, "concurrent shard-claim loops inside this process")
-		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
-		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
-		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
-		watch        = flag.Bool("watch", false, "with -coord and -merge-report: block until the pool drains, rendering each report row the moment its scenarios are stored (per-shard progress on stderr); a pool dead past its lease TTL errors instead of hanging")
+		cf = cliflags.Register(flag.CommandLine)
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of this run to the file (inspect with go tool pprof; see EXPERIMENTS.md)")
 		memProfile = flag.String("memprofile", "", "write a heap profile (live memory after GC) to the file at exit")
@@ -105,10 +104,11 @@ func main() {
 		}
 	}()
 
-	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
+	setup, err := cf.Resolve()
 	if err != nil {
 		fatal(err)
 	}
+	store := setup.Store
 	// Design-time artifact tier: with a store attached, mobility tables
 	// computed by this run persist next to the results, and tables any
 	// previous run stored are loaded instead of recomputed. Counters
@@ -117,7 +117,7 @@ func main() {
 	if store != nil {
 		artifact.Install(store)
 	}
-	if *storeGC {
+	if setup.StoreGC {
 		line, err := resultstore.RunGC(store)
 		if err != nil {
 			fatal(err)
@@ -125,23 +125,12 @@ func main() {
 		fmt.Println(line)
 		return
 	}
-	if *coordStatus {
-		if *coordDir == "" {
-			fatal(fmt.Errorf("-coord-status needs a coordinator directory (-coord DIR)"))
-		}
-		back, err := coord.OpenBackend("-coord", *coordDir)
+	if setup.CoordStatus {
+		report, err := setup.StatusReport()
 		if err != nil {
 			fatal(err)
 		}
-		c, err := coord.Open(coord.Config{Backend: back, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
-		if err != nil {
-			fatal(err)
-		}
-		st, err := c.Status()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(st.Render(c.Dir()))
+		fmt.Print(report)
 		return
 	}
 
@@ -155,9 +144,9 @@ func main() {
 		RUs:           units,
 		Latency:       simtime.FromMs(*latency),
 		CSV:           *csv,
-		Parallel:      *parallel,
+		Parallel:      setup.Parallel,
 		Store:         store,
-		RequireStored: *merge,
+		RequireStored: setup.Merge,
 	}
 
 	selected, err := selectExperiments(*only)
@@ -165,27 +154,10 @@ func main() {
 		fatal(err)
 	}
 
-	if *watch && (*coordDir == "" || !*merge) {
-		fatal(fmt.Errorf("-watch needs both -coord DIR and -merge-report: it renders from the store while the pool populates it"))
-	}
 	var poolWatch *coord.PoolWatch
-	if *coordDir != "" {
-		if *shardStr != "" {
-			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard"))
-		}
-		if store == nil {
-			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
-		}
-		back, err := coord.OpenBackend("-coord", *coordDir)
-		if err != nil {
-			fatal(err)
-		}
-		cfg := coord.Config{
-			Backend: back, Shards: *coordShards,
-			LeaseTTL: *leaseTTL, Heartbeat: *heartbeat,
-			Fingerprint: coordFingerprint(opt, selected),
-		}
-		if !*merge {
+	if setup.Coord != nil {
+		cfg := setup.Coord.Config(coordFingerprint(opt, selected))
+		if !setup.Merge {
 			c, err := coord.Open(cfg)
 			if errors.Is(err, coord.ErrUninitialised) {
 				fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
@@ -193,7 +165,7 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			stats, err := c.RunWorkers(*coordWorkers, func(r coord.ShardRun) error {
+			stats, err := c.RunWorkers(setup.Coord.Workers, func(r coord.ShardRun) error {
 				sh := sweep.Shard{Index: r.Shard, Count: r.Count}
 				st, err := experiments.Populate(opt, selected, sh)
 				if err != nil {
@@ -216,7 +188,7 @@ func main() {
 		// the pool populates, each row the moment its scenarios land, and
 		// a pool dead past its lease TTL fails the merge instead of
 		// hanging it.
-		_, pw, poll, err := coord.MergeGate(cfg, *watch, os.Stderr)
+		_, pw, poll, err := coord.MergeGate(cfg, setup.Watch, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
@@ -226,36 +198,19 @@ func main() {
 			opt.StoreWait = &sweep.StoreWait{Poll: poll, Done: poolWatch.Done}
 		}
 	}
-	if *shardStr != "" {
-		shard, err := sweep.ParseShard(*shardStr)
+	if setup.HasShard {
+		st, err := experiments.Populate(opt, selected, setup.Shard)
 		if err != nil {
 			fatal(err)
 		}
-		if *merge {
-			fatal(fmt.Errorf("-shard and -merge-report are mutually exclusive (populate first, merge after)"))
-		}
-		if store == nil {
-			fatal(fmt.Errorf("-shard needs a result store (-store DIR or $RTR_STORE)"))
-		}
-		st, err := experiments.Populate(opt, selected, shard)
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Fprintln(os.Stderr, shardDigest(shard, st))
+		fmt.Fprintln(os.Stderr, shardDigest(setup.Shard, st))
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
 		printMobilityDigest()
 		return
 	}
-	if *merge && store == nil {
-		fatal(fmt.Errorf("-merge-report needs a result store (-store DIR or $RTR_STORE)"))
-	}
 
-	fmt.Printf("reproduction suite: seed %d, %d apps, RUs %v, latency %v\n",
-		opt.Seed, opt.Apps, opt.RUs, opt.Latency)
-	for _, e := range selected {
-		if err := e.Run(opt, os.Stdout); err != nil {
-			fatal(fmt.Errorf("%s: %w", e.ID, err))
-		}
+	if err := campaign.RenderSuite(opt, selected, os.Stdout); err != nil {
+		fatal(err)
 	}
 	if poolWatch != nil {
 		// -watch blocks until the pool drains, not merely until the
@@ -313,18 +268,9 @@ func coordFingerprint(opt experiments.Options, selected []experiments.Experiment
 // selectExperiments resolves the -only flag: empty means the full suite.
 func selectExperiments(only string) ([]experiments.Experiment, error) {
 	if only == "" {
-		return experiments.All(), nil
+		return campaign.SelectExperiments(nil)
 	}
-	var selected []experiments.Experiment
-	for _, id := range strings.Split(only, ",") {
-		id = strings.TrimSpace(id)
-		e, ok := experiments.ByID(id)
-		if !ok {
-			return nil, fmt.Errorf("unknown experiment %q; known: %s", id, strings.Join(experiments.IDs(), ", "))
-		}
-		selected = append(selected, e)
-	}
-	return selected, nil
+	return campaign.SelectExperiments(strings.Split(only, ","))
 }
 
 func fatal(err error) {

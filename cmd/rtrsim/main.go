@@ -28,6 +28,10 @@
 //	every host:  rtrsim -policy lru,lfd -rus 4-10 -store /shared -coord /shared/coord -coord-shards 8
 //	any host:    rtrsim -policy lru,lfd -rus 4-10 -store /shared -coord /shared/coord -merge-report -watch
 //
+// Both locators also take an rtrserved campaign URL
+// (http://host:8080/c/ID; -auth-token/-http-timeout tune the wire
+// client), so the same pool can span hosts with no shared filesystem.
+//
 // Workers claim shards, heartbeat while populating the store, and
 // re-lease any shard whose worker stops heartbeating for -lease-ttl
 // (idempotent: the store dedupes by config hash). -coord-workers runs
@@ -49,14 +53,13 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
-	"time"
 
 	"repro/internal/artifact"
+	"repro/internal/campaign"
+	"repro/internal/cliflags"
 	"repro/internal/coord"
 	"repro/internal/core"
-	"repro/internal/dynlist"
 	"repro/internal/metrics"
 	"repro/internal/mobility"
 	"repro/internal/profiling"
@@ -65,7 +68,6 @@ import (
 	"repro/internal/sweep"
 	"repro/internal/taskgraph"
 	"repro/internal/trace"
-	"repro/internal/workload"
 )
 
 func main() {
@@ -78,24 +80,12 @@ func main() {
 		latency  = flag.Float64("latency", 4, "reconfiguration latency in ms")
 		skip     = flag.Bool("skip", false, "enable skip events (hybrid design-time/run-time technique)")
 		prefetch = flag.Bool("prefetch", false, "enable the cross-graph prefetch extension")
-		parallel = flag.Int("parallel", 0, "concurrently simulated sweep scenarios (0 = one per CPU)")
 		gantt    = flag.Bool("gantt", false, "print the schedule as an ASCII Gantt chart (single run only)")
 		tick     = flag.Float64("tick", 0, "Gantt: ms per column (0 = auto)")
 		svgOut   = flag.String("svg", "", "write the schedule as SVG to this file (single run only)")
 		traceOut = flag.String("trace", "", "write the execution trace as JSON to this file (single run only)")
-		storeDir = flag.String("store", os.Getenv("RTR_STORE"), "persisted result store locator: a directory (or fs:DIR), mem:, or sqlite:FILE.db (default: $RTR_STORE); re-runs serve unchanged scenarios from the store")
-		noStore  = flag.Bool("no-store", false, "disable the result store even when -store/$RTR_STORE is set")
-		storeGC  = flag.Bool("store-gc", false, "garbage-collect the result store (stale-schema and corrupt entries) and exit")
-		shardStr = flag.String("shard", "", "simulate only shard i/N of the sweep grid into -store (e.g. \"0/2\"); prints no table")
-		merge    = flag.Bool("merge-report", false, "render the sweep table purely from -store (populated by N -shard runs); a missing scenario is an error")
 
-		coordDir     = flag.String("coord", "", "shard coordinator state locator (a directory, fs:DIR, mem:, or sqlite:FILE.db): claim, heartbeat and re-lease sweep shards from a self-healing pool into -store; every host runs this same command")
-		coordShards  = flag.Int("coord-shards", 0, "total shard count for the -coord pool; the first worker persists it, later workers may omit it (0) or must agree")
-		coordWorkers = flag.Int("coord-workers", 1, "concurrent shard-claim loops inside this process")
-		leaseTTL     = flag.Duration("lease-ttl", 0, "coordinator lease expiry: a shard whose worker misses heartbeats this long is re-leased and re-run (0: adopt the pool's TTL, "+coord.DefaultLeaseTTL.String()+" when initialising; a non-zero mismatch with the pool is refused)")
-		heartbeat    = flag.Duration("heartbeat", 0, "coordinator heartbeat interval (0: a quarter of -lease-ttl)")
-		coordStatus  = flag.Bool("coord-status", false, "print the -coord pool's per-shard state (done/leased/pending, owner, attempts) and exit")
-		watch        = flag.Bool("watch", false, "with -coord and -merge-report: block until the pool drains, printing each sweep row the moment its scenario is stored (per-shard progress on stderr); a pool dead past its lease TTL errors instead of hanging")
+		cf = cliflags.Register(flag.CommandLine)
 
 		cpuProfile = flag.String("cpuprofile", "", "write a CPU profile of this run to the file (inspect with go tool pprof; see EXPERIMENTS.md)")
 		memProfile = flag.String("memprofile", "", "write a heap profile (live memory after GC) to the file at exit")
@@ -112,10 +102,11 @@ func main() {
 		}
 	}()
 
-	store, err := resultstore.OpenIfSet(*storeDir, *noStore)
+	setup, err := cf.Resolve()
 	if err != nil {
 		fatal(err)
 	}
+	store := setup.Store
 	// Design-time artifact tier: with a store attached, mobility tables
 	// persist next to the results and warm runs load them instead of
 	// recomputing. Counters start from zero for this run's digest.
@@ -123,7 +114,7 @@ func main() {
 	if store != nil {
 		artifact.Install(store)
 	}
-	if *storeGC {
+	if setup.StoreGC {
 		line, err := resultstore.RunGC(store)
 		if err != nil {
 			fatal(err)
@@ -131,23 +122,12 @@ func main() {
 		fmt.Println(line)
 		return
 	}
-	if *coordStatus {
-		if *coordDir == "" {
-			fatal(fmt.Errorf("-coord-status needs a coordinator directory (-coord DIR)"))
-		}
-		back, err := coord.OpenBackend("-coord", *coordDir)
+	if setup.CoordStatus {
+		report, err := setup.StatusReport()
 		if err != nil {
 			fatal(err)
 		}
-		c, err := coord.Open(coord.Config{Backend: back, LeaseTTL: *leaseTTL, Heartbeat: *heartbeat})
-		if err != nil {
-			fatal(err)
-		}
-		st, err := c.Status()
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Print(st.Render(c.Dir()))
+		fmt.Print(report)
 		return
 	}
 
@@ -163,35 +143,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-
-	var shard sweep.Shard
-	if *shardStr != "" {
-		shard, err = sweep.ParseShard(*shardStr)
-		if err != nil {
-			fatal(err)
-		}
-		if *merge {
-			fatal(fmt.Errorf("-shard and -merge-report are mutually exclusive (populate first, merge after)"))
-		}
-		if store == nil {
-			fatal(fmt.Errorf("-shard needs a result store (-store DIR or $RTR_STORE)"))
-		}
-	}
-	if *merge && store == nil {
-		fatal(fmt.Errorf("-merge-report needs a result store (-store DIR or $RTR_STORE)"))
-	}
-	if *watch && (*coordDir == "" || !*merge) {
-		fatal(fmt.Errorf("-watch needs both -coord DIR and -merge-report: it renders from the store while the pool populates it"))
-	}
-	if *coordDir != "" {
-		if *shardStr != "" {
-			fatal(fmt.Errorf("-coord leases shards by itself — drop -shard"))
-		}
-		if store == nil {
-			fatal(fmt.Errorf("-coord needs a result store (-store DIR or $RTR_STORE)"))
-		}
-	}
-	sharded := *shardStr != "" || *merge || *coordDir != ""
+	sharded := setup.HasShard || setup.Merge || setup.Coord != nil
 
 	if len(units) == 1 && len(policies) == 1 && !sharded {
 		runSingle(*wl, seq, singleOptions{
@@ -207,19 +159,10 @@ func main() {
 			fatal(fmt.Errorf("-gantt/-svg/-trace need a single scenario; got %d policies × %d unit counts",
 				len(policies), len(units)))
 		}
-		var coordOpt *coordOptions
-		if *coordDir != "" {
-			coordOpt = &coordOptions{
-				dir: *coordDir, shards: *coordShards, workers: *coordWorkers,
-				ttl: *leaseTTL, heartbeat: *heartbeat,
-			}
-		}
 		runSweep(*wl, seq, sweepOptions{
 			units: units, policies: policies, latency: simtime.FromMs(*latency),
-			prefetch: *prefetch, parallel: *parallel,
-			shard: shard, populate: *shardStr != "", merge: *merge, watch: *watch,
-			coord: coordOpt,
-		}, store)
+			prefetch: *prefetch,
+		}, setup)
 	}
 	if store != nil {
 		fmt.Fprintln(os.Stderr, store.SummaryLine())
@@ -324,28 +267,6 @@ type sweepOptions struct {
 	policies []sweep.PolicySpec
 	latency  simtime.Time
 	prefetch bool
-	parallel int
-	// shard/populate: run only the shard's slice into the store, no
-	// table; merge: render the table purely from the store.
-	shard    sweep.Shard
-	populate bool
-	merge    bool
-	// watch (with coord and merge): wait for the pool, printing each row
-	// the moment its scenario is stored.
-	watch bool
-	// coord: claim shards from a self-healing pool instead of running a
-	// fixed -shard slice (no table), or — with merge — consult the pool
-	// before/while rendering from the store.
-	coord *coordOptions
-}
-
-// coordOptions carries the -coord* flags into the sweep path. dir is
-// the raw -coord locator (a directory, fs:DIR, mem:, or sqlite:FILE).
-type coordOptions struct {
-	dir            string
-	shards         int
-	workers        int
-	ttl, heartbeat time.Duration
 }
 
 // runSweep executes the policies × unit-counts grid on the streaming
@@ -354,7 +275,8 @@ type coordOptions struct {
 // and the renderer O(1) rows however many scenarios the flags expand to.
 // In a watch-mode merge the rows appear as the coordinator pool stores
 // their scenarios.
-func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultstore.Store) {
+func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, setup campaign.Setup) {
+	store := setup.Store
 	if o.prefetch {
 		for i := range o.policies {
 			o.policies[i].CrossGraphPrefetch = true
@@ -368,23 +290,15 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 	}
 	var storeWait *sweep.StoreWait
 	var poolWatch *coord.PoolWatch
-	if o.coord != nil {
+	if setup.Coord != nil {
 		// A pool populate (or a merge against one) is only useful if the
 		// grid can be persisted — an uncacheable spec would simulate
 		// every slice and store nothing, failing only at merge time.
 		if err := spec.Cacheable(); err != nil {
 			fatal(fmt.Errorf("-coord: %w", err))
 		}
-		back, err := coord.OpenBackend("-coord", o.coord.dir)
-		if err != nil {
-			fatal(err)
-		}
-		cfg := coord.Config{
-			Backend: back, Shards: o.coord.shards,
-			LeaseTTL: o.coord.ttl, Heartbeat: o.coord.heartbeat,
-			Fingerprint: sweepFingerprint(wl, &spec),
-		}
-		if !o.merge {
+		cfg := setup.Coord.Config(sweepFingerprint(wl, &spec))
+		if !setup.Merge {
 			c, err := coord.Open(cfg)
 			if errors.Is(err, coord.ErrUninitialised) {
 				fatal(fmt.Errorf("%w (pass -coord-shards N to initialise the pool)", err))
@@ -392,10 +306,10 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 			if err != nil {
 				fatal(err)
 			}
-			stats, err := c.RunWorkers(o.coord.workers, func(r coord.ShardRun) error {
+			stats, err := c.RunWorkers(setup.Coord.Workers, func(r coord.ShardRun) error {
 				sp := spec
 				sp.Shard = sweep.Shard{Index: r.Shard, Count: r.Count}
-				if err := (sweep.Executor{Workers: o.parallel, Store: store}).Collect(sp, sweep.Discard); err != nil {
+				if err := (sweep.Executor{Workers: setup.Parallel, Store: store}).Collect(sp, sweep.Discard); err != nil {
 					return err
 				}
 				n := sp.Size()
@@ -411,7 +325,7 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 		}
 		// Coordinator-aware merge: refuse a pool that has not drained, or
 		// — with -watch — render while it drains and error if it dies.
-		_, pw, poll, err := coord.MergeGate(cfg, o.watch, os.Stderr)
+		_, pw, poll, err := coord.MergeGate(cfg, setup.Watch, os.Stderr)
 		if err != nil {
 			fatal(err)
 		}
@@ -421,35 +335,18 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, store *resultst
 			storeWait = &sweep.StoreWait{Poll: poll, Done: poolWatch.Done}
 		}
 	}
-	if o.populate {
-		spec.Shard = o.shard
-		if err := (sweep.Executor{Workers: o.parallel, Store: store}).Collect(spec, sweep.Discard); err != nil {
+	if setup.HasShard {
+		spec.Shard = setup.Shard
+		if err := (sweep.Executor{Workers: setup.Parallel, Store: store}).Collect(spec, sweep.Discard); err != nil {
 			fatal(err)
 		}
 		n := spec.Size()
 		fmt.Fprintf(os.Stderr, "shard %s: ran %d of %d scenarios (%d skipped by other shards)\n",
-			o.shard, o.shard.SizeOf(n), n, n-o.shard.SizeOf(n))
+			setup.Shard, setup.Shard.SizeOf(n), n, n-setup.Shard.SizeOf(n))
 		return
 	}
-	fmt.Printf("workload        %s (%d applications), latency %v, %d scenarios\n",
-		wl, len(seq), o.latency, spec.Size())
-	fmt.Printf("%-30s %4s %10s %14s %12s %8s %8s\n",
-		"policy", "RUs", "reuse %", "makespan", "remaining %", "loads", "skips")
-	rr := &sweep.RowRenderer{
-		Emit: func(i int, rows []sweep.SummaryRow) error {
-			row := rows[0]
-			s := row.Summary
-			fmt.Printf("%-30s %4d %10.2f %14v %12.2f %8d %8d\n",
-				s.PolicyName, row.Scenario.RUs, s.ReuseRate(), s.Makespan, s.RemainingOverheadPct(),
-				s.Loads, row.Counters.Skips)
-			return nil
-		},
-	}
-	ex := sweep.Executor{Workers: o.parallel, Store: store, RequireStored: o.merge, StoreWait: storeWait}
-	if err := ex.Collect(spec, rr); err != nil {
-		fatal(err)
-	}
-	if err := rr.Close(); err != nil {
+	ex := sweep.Executor{Workers: setup.Parallel, Store: store, RequireStored: setup.Merge, StoreWait: storeWait}
+	if err := campaign.RenderSweepTable(wl, len(seq), spec, ex, os.Stdout); err != nil {
 		fatal(err)
 	}
 	if poolWatch != nil {
@@ -479,26 +376,10 @@ func sweepFingerprint(wl string, spec *sweep.Spec) string {
 	return h.Sum()
 }
 
+// buildWorkload constructs the -workload sequence (shared with the
+// rtrserved renderer through internal/campaign).
 func buildWorkload(name string, apps int, seed int64) ([]*taskgraph.Graph, error) {
-	switch name {
-	case "fig2":
-		return workload.Fig2Sequence(), nil
-	case "fig3":
-		return workload.Fig3Sequence(), nil
-	case "multimedia":
-		feed, err := dynlist.RandomSequence(workload.Multimedia(), apps, rand.New(rand.NewSource(seed)))
-		if err != nil {
-			return nil, err
-		}
-		items := feed.Remaining()
-		seq := make([]*taskgraph.Graph, len(items))
-		for i, it := range items {
-			seq[i] = it.Graph
-		}
-		return seq, nil
-	default:
-		return nil, fmt.Errorf("unknown workload %q (want fig2, fig3 or multimedia)", name)
-	}
+	return campaign.BuildWorkload(name, apps, seed)
 }
 
 func fatal(err error) {

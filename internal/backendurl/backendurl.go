@@ -4,10 +4,12 @@
 // A locator is either a bare filesystem path (the historical form,
 // still the default) or a scheme-prefixed form:
 //
-//	.rtr-store            → fs backend rooted at .rtr-store
-//	fs:/mnt/campaign      → fs backend, explicit scheme
-//	mem:                  → in-process memory backend (ephemeral)
-//	sqlite:campaign.db    → single-file campaign database
+//	.rtr-store                   → fs backend rooted at .rtr-store
+//	fs:/mnt/campaign             → fs backend, explicit scheme
+//	mem:                         → in-process memory backend (ephemeral)
+//	sqlite:campaign.db           → single-file campaign database
+//	http://host:8080/c/ID        → campaign hosted by rtrserved
+//	https://host/c/ID            → same, over TLS
 //
 // Both CLIs parse through this one package so the scheme set, the
 // error messages, and the path normalization cannot drift between
@@ -25,7 +27,22 @@ const (
 	SchemeFS     = "fs"
 	SchemeMem    = "mem"
 	SchemeSQLite = "sqlite"
+	SchemeHTTP   = "http"
+	SchemeHTTPS  = "https"
 )
+
+// Schemes lists every registered scheme, in the order error messages
+// enumerate them. New backends register here so "unknown scheme"
+// diagnostics can never go stale.
+func Schemes() []string {
+	return []string{SchemeFS, SchemeMem, SchemeSQLite, SchemeHTTP, SchemeHTTPS}
+}
+
+// schemeList renders Schemes for an error message: "fs:, mem:, ...".
+func schemeList() string {
+	s := Schemes()
+	return strings.Join(s, ":, ") + ":"
+}
 
 // Locator is a parsed backend reference: which backend family, and the
 // path it is rooted at (empty for mem).
@@ -87,7 +104,17 @@ func Parse(flag, raw string) (Locator, error) {
 			return Locator{}, fmt.Errorf("%s: sqlite: missing path (want %s:FILE.db)", flag, SchemeSQLite)
 		}
 		return Locator{Scheme: SchemeSQLite, Path: filepath.Clean(rest)}, nil
+	case SchemeHTTP, SchemeHTTPS:
+		if !strings.HasPrefix(rest, "//") || rest == "//" {
+			return Locator{}, fmt.Errorf("%s: %s: missing host (want %s://HOST:PORT/c/ID)", flag, scheme, scheme)
+		}
+		// The path is the remainder of the URL; String() rejoins the
+		// two halves into the original http://... form.
+		return Locator{Scheme: scheme, Path: rest}, nil
 	default:
-		return Locator{}, fmt.Errorf("%s: unknown backend scheme %q (want fs:, mem:, or sqlite:)", flag, scheme)
+		return Locator{}, fmt.Errorf("%s: unknown backend scheme %q (registered schemes: %s)", flag, scheme, schemeList())
 	}
 }
+
+// URL reconstructs the full URL for http/https locators.
+func (l Locator) URL() string { return l.Scheme + ":" + l.Path }

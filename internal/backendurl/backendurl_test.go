@@ -74,12 +74,14 @@ func TestParseErrorsNameTheFlag(t *testing.T) {
 	cases := []struct {
 		flag, raw, want string
 	}{
-		{"-store", "redis:host", `-store: unknown backend scheme "redis" (want fs:, mem:, or sqlite:)`},
-		{"-coord", "sqlit:db", `-coord: unknown backend scheme "sqlit" (want fs:, mem:, or sqlite:)`},
+		{"-store", "redis:host", `-store: unknown backend scheme "redis" (registered schemes: fs:, mem:, sqlite:, http:, https:)`},
+		{"-coord", "sqlit:db", `-coord: unknown backend scheme "sqlit" (registered schemes: fs:, mem:, sqlite:, http:, https:)`},
 		{"-store", "sqlite:", `-store: sqlite: missing path (want sqlite:FILE.db)`},
 		{"-coord", "fs:", `-coord: fs: missing path (want fs:DIR)`},
 		{"-store", "mem:stuff", `-store: mem: takes no path (got "stuff", want mem:)`},
 		{"-coord", "", `-coord: empty backend locator`},
+		{"-store", "http:", `-store: http: missing host (want http://HOST:PORT/c/ID)`},
+		{"-coord", "https://", `-coord: https: missing host (want https://HOST:PORT/c/ID)`},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.flag, c.raw)
@@ -93,8 +95,25 @@ func TestParseErrorsNameTheFlag(t *testing.T) {
 	}
 }
 
+func TestParseHTTP(t *testing.T) {
+	l, err := Parse("-store", "http://host:8080/c/abc12")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Scheme != SchemeHTTP || l.URL() != "http://host:8080/c/abc12" {
+		t.Errorf("http locator %+v, URL %q", l, l.URL())
+	}
+	l, err = Parse("-coord", "HTTPS://host/c/x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.Scheme != SchemeHTTPS || l.URL() != "https://host/c/x" {
+		t.Errorf("https locator %+v, URL %q", l, l.URL())
+	}
+}
+
 func TestLocatorStringRoundTrip(t *testing.T) {
-	for _, raw := range []string{"fs:store", "mem:", "sqlite:c.db"} {
+	for _, raw := range []string{"fs:store", "mem:", "sqlite:c.db", "http://h:1/c/x"} {
 		l, err := Parse("-store", raw)
 		if err != nil {
 			t.Fatal(err)

@@ -1,0 +1,265 @@
+// Package campaign is the shared campaign layer above the store and
+// coordinator: the piece of the two CLIs that is the same sweep no
+// matter where it runs — which experiments a suite selects, how a
+// policy-grid table renders, how the -store/-coord flag set resolves
+// into opened backends — plus the server-side renderer cmd/rtrserved
+// injects into internal/serve (which cannot import sweep/experiments
+// itself; see the serve package comment).
+//
+// The split keeps one source of truth for three consumers: rtrrepro,
+// rtrsim (via internal/cliflags), and rtrserved's rows endpoint. A
+// report rendered by the server over SSE is byte-identical to the one
+// the CLI renders locally because both run these same functions.
+package campaign
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/dynlist"
+	"repro/internal/experiments"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
+	"repro/internal/simtime"
+	"repro/internal/sweep"
+	"repro/internal/taskgraph"
+	"repro/internal/workload"
+)
+
+// SelectExperiments resolves suite experiment ids: empty means the
+// full suite. The error enumerates the known ids (both CLIs and the
+// server validation path print it verbatim).
+func SelectExperiments(ids []string) ([]experiments.Experiment, error) {
+	if len(ids) == 0 {
+		return experiments.All(), nil
+	}
+	var selected []experiments.Experiment
+	for _, id := range ids {
+		id = strings.TrimSpace(id)
+		e, ok := experiments.ByID(id)
+		if !ok {
+			return nil, fmt.Errorf("unknown experiment %q; known: %s", id, strings.Join(experiments.IDs(), ", "))
+		}
+		selected = append(selected, e)
+	}
+	return selected, nil
+}
+
+// BuildWorkload constructs a named workload sequence (fig2, fig3, or
+// the seeded multimedia stream).
+func BuildWorkload(name string, apps int, seed int64) ([]*taskgraph.Graph, error) {
+	switch name {
+	case "fig2":
+		return workload.Fig2Sequence(), nil
+	case "fig3":
+		return workload.Fig3Sequence(), nil
+	case "multimedia":
+		feed, err := dynlist.RandomSequence(workload.Multimedia(), apps, rand.New(rand.NewSource(seed)))
+		if err != nil {
+			return nil, err
+		}
+		items := feed.Remaining()
+		seq := make([]*taskgraph.Graph, len(items))
+		for i, it := range items {
+			seq[i] = it.Graph
+		}
+		return seq, nil
+	default:
+		return nil, fmt.Errorf("unknown workload %q (want fig2, fig3 or multimedia)", name)
+	}
+}
+
+// RenderSuite prints the rtrrepro report: the parameter header line
+// followed by every selected experiment, in order.
+func RenderSuite(opt experiments.Options, selected []experiments.Experiment, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "reproduction suite: seed %d, %d apps, RUs %v, latency %v\n",
+		opt.Seed, opt.Apps, opt.RUs, opt.Latency); err != nil {
+		return err
+	}
+	for _, e := range selected {
+		if err := e.Run(opt, w); err != nil {
+			return fmt.Errorf("%s: %w", e.ID, err)
+		}
+	}
+	return nil
+}
+
+// RenderSweepTable prints the rtrsim comparison table: the workload
+// header, the column header, and one row per scenario in spec order,
+// each the moment its scenario lands.
+func RenderSweepTable(wl string, apps int, spec sweep.Spec, ex sweep.Executor, w io.Writer) error {
+	if _, err := fmt.Fprintf(w, "workload        %s (%d applications), latency %v, %d scenarios\n",
+		wl, apps, spec.Latencies[0], spec.Size()); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%-30s %4s %10s %14s %12s %8s %8s\n",
+		"policy", "RUs", "reuse %", "makespan", "remaining %", "loads", "skips"); err != nil {
+		return err
+	}
+	rr := &sweep.RowRenderer{
+		Emit: func(i int, rows []sweep.SummaryRow) error {
+			row := rows[0]
+			s := row.Summary
+			_, err := fmt.Fprintf(w, "%-30s %4d %10.2f %14v %12.2f %8d %8d\n",
+				s.PolicyName, row.Scenario.RUs, s.ReuseRate(), s.Makespan, s.RemainingOverheadPct(),
+				s.Loads, row.Counters.Skips)
+			return err
+		},
+	}
+	if err := ex.Collect(spec, rr); err != nil {
+		return err
+	}
+	return rr.Close()
+}
+
+// normalize fills a wire spec's zero values with the CLI defaults, so
+// a minimal submission ({"kind":"suite"}) means what the bare CLI
+// invocation means.
+func normalize(s wire.Spec) wire.Spec {
+	if s.Seed == 0 {
+		s.Seed = 2011
+	}
+	if s.Apps <= 0 {
+		s.Apps = 500
+	}
+	if len(s.RUs) == 0 {
+		s.RUs = []int{4, 5, 6, 7, 8, 9, 10}
+	}
+	if s.LatencyMS <= 0 {
+		s.LatencyMS = 4
+	}
+	if s.Workload == "" {
+		s.Workload = "multimedia"
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []string{"locallfd:1"}
+	}
+	return s
+}
+
+// plan turns a normalized wire spec into runnable pieces.
+type plan struct {
+	spec     wire.Spec
+	selected []experiments.Experiment // suite
+	wl       []*taskgraph.Graph       // sweep
+	grid     sweep.Spec               // sweep
+}
+
+func buildPlan(s wire.Spec) (*plan, error) {
+	s = normalize(s)
+	p := &plan{spec: s}
+	switch s.Kind {
+	case "suite":
+		selected, err := SelectExperiments(s.Only)
+		if err != nil {
+			return nil, err
+		}
+		p.selected = selected
+	case "sweep":
+		seq, err := BuildWorkload(s.Workload, s.Apps, s.Seed)
+		if err != nil {
+			return nil, err
+		}
+		policies, err := sweep.ParsePolicies(strings.Join(s.Policies, ","), s.Skip)
+		if err != nil {
+			return nil, err
+		}
+		if s.Prefetch {
+			for i := range policies {
+				policies[i].CrossGraphPrefetch = true
+			}
+		}
+		p.wl = seq
+		p.grid = sweep.Spec{
+			Workloads: []sweep.Workload{{Seq: seq}},
+			RUs:       s.RUs,
+			Latencies: []simtime.Time{simtime.FromMs(s.LatencyMS)},
+			Policies:  policies,
+		}
+		if err := p.grid.Cacheable(); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("campaign spec kind %q (want suite or sweep)", s.Kind)
+	}
+	return p, nil
+}
+
+// CheckSpec vets a campaign submission without running anything: it
+// is the serve.Config.Check hook, so a bad experiment id or policy
+// string is refused at POST time, not at first render.
+func CheckSpec(s wire.Spec) error {
+	_, err := buildPlan(s)
+	return err
+}
+
+// Render is the serve.Config.Rows hook: it renders the campaign's
+// report into w — exactly the bytes the equivalent CLI merge prints
+// locally — while the worker pool populates the store, blocking until
+// the pool drains. The pool need not exist yet: like a CLI `-watch`
+// merge, Render waits (here, ctx-aware) for the first worker to
+// initialise it.
+func Render(ctx context.Context, c *serve.Campaign, w io.Writer) error {
+	p, err := buildPlan(c.Spec())
+	if err != nil {
+		return err
+	}
+	cfg := coord.Config{Backend: c.Coord()}
+	for {
+		if _, err := coord.Open(cfg); err == nil {
+			break
+		} else if !errors.Is(err, coord.ErrUninitialised) {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(500 * time.Millisecond):
+		}
+	}
+	// The pool exists now, so MergeGate returns without blocking; its
+	// progress lines are server-side noise, not report bytes.
+	_, pw, poll, err := coord.MergeGate(cfg, true, io.Discard)
+	if err != nil {
+		return err
+	}
+	defer pw.Stop()
+	wait := &sweep.StoreWait{Poll: poll, Done: pw.Done}
+	store := c.Store()
+	var renderErr error
+	switch p.spec.Kind {
+	case "suite":
+		opt := experiments.Options{
+			Seed:          p.spec.Seed,
+			Apps:          p.spec.Apps,
+			RUs:           p.spec.RUs,
+			Latency:       simtime.FromMs(p.spec.LatencyMS),
+			Parallel:      p.spec.Parallel,
+			Store:         store,
+			RequireStored: true,
+			StoreWait:     wait,
+		}
+		renderErr = RenderSuite(opt, p.selected, w)
+	case "sweep":
+		ex := sweep.Executor{
+			Workers:       p.spec.Parallel,
+			Store:         store,
+			RequireStored: true,
+			StoreWait:     wait,
+		}
+		renderErr = RenderSweepTable(p.spec.Workload, len(p.wl), p.grid, ex, w)
+	}
+	if renderErr != nil {
+		return renderErr
+	}
+	// Block until the pool drains: the last done records can trail the
+	// store writes the report consumed.
+	_, err = pw.Wait()
+	return err
+}

@@ -52,8 +52,9 @@ type Backend interface {
 
 // OpenBackend resolves a CLI backend locator (see internal/backendurl;
 // same syntax as -store) into a coordinator backend, attributing parse
-// errors to the given flag.
-func OpenBackend(flag, locator string) (Backend, error) {
+// errors to the given flag. opts tunes the wire client for http(s)
+// locators (token, timeout); at most one may be passed.
+func OpenBackend(flag, locator string, opts ...backendurl.HTTPOptions) (Backend, error) {
 	loc, err := backendurl.Parse(flag, locator)
 	if err != nil {
 		return nil, err
@@ -63,10 +64,20 @@ func OpenBackend(flag, locator string) (Backend, error) {
 		return NewMem(), nil
 	case backendurl.SchemeSQLite:
 		return NewSQLite(loc.Path)
+	case backendurl.SchemeHTTP, backendurl.SchemeHTTPS:
+		var o backendurl.HTTPOptions
+		if len(opts) > 0 {
+			o = opts[0]
+		}
+		return backendurl.NewHTTPCoord(loc, o)
 	default:
 		return NewFS(loc.Path), nil
 	}
 }
+
+// The wire backend implements the Backend contract structurally —
+// backendurl cannot import this package — so pin it here.
+var _ Backend = (*backendurl.HTTPCoord)(nil)
 
 // getJSON decodes one state record. fs.ErrNotExist passes through for
 // existence checks.

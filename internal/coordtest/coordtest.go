@@ -1,5 +1,6 @@
 // Package coordtest is the shard-coordinator conformance harness: a
-// registry of every pool-state backend (fs, mem, sqlite) and one
+// registry of every pool-state backend (fs, mem, sqlite, http — the
+// last over a live in-process control plane) and one
 // shared suite of the lease-protocol properties the multi-host sweeps
 // depend on — adopt-or-initialise pool constants, exactly-one-owner
 // claims per (shard, generation), TTL re-lease with attempt counting,
@@ -17,17 +18,20 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/backendurl"
 	"repro/internal/coord"
+	"repro/internal/storetest"
 )
 
 // EnvFilter is the environment variable the CI backend matrix sets to
 // restrict the registry: a comma list of backend names ("fs", "mem",
-// "sqlite"). Empty or unset runs all of them.
+// "sqlite", "http"). Empty or unset runs all of them.
 const EnvFilter = "RTR_BACKEND"
 
 // Backend is one registered coordinator backend under test.
 type Backend struct {
-	// Name is the registry (and CI matrix) name: "fs", "mem", "sqlite".
+	// Name is the registry (and CI matrix) name: "fs", "mem",
+	// "sqlite", "http".
 	Name string
 	// New creates one fresh, empty pool state and returns a handle
 	// factory: every call yields a coord.Backend over that same state
@@ -38,7 +42,8 @@ type Backend struct {
 }
 
 // reclocked overrides a shared backend handle's clock, for backends
-// (mem) where all workers necessarily share one instance.
+// where the clock is not per-handle injectable: mem (all workers share
+// one instance) and http (Now would ask the server).
 type reclocked struct {
 	coord.Backend
 	clk func() time.Time
@@ -82,6 +87,28 @@ func registry() []Backend {
 				}
 			},
 		},
+		{
+			// http runs the lease protocol against a live control plane.
+			// The fake clock replaces the server-clock Now (the expiry
+			// arithmetic under test is client-side either way); Get/Put/
+			// Create/List — including the exclusive-create claims every
+			// property here races on — go over the wire.
+			Name: "http",
+			New: func(tb testing.TB) func(clk func() time.Time) coord.Backend {
+				base, opts := storetest.HTTPCampaign(tb)
+				return func(clk func() time.Time) coord.Backend {
+					loc, err := backendurl.Parse("-coord", base)
+					if err != nil {
+						tb.Fatal(err)
+					}
+					b, err := backendurl.NewHTTPCoord(loc, opts)
+					if err != nil {
+						tb.Fatal(err)
+					}
+					return reclocked{Backend: b, clk: clk}
+				}
+			},
+		},
 	}
 }
 
@@ -105,7 +132,7 @@ func Backends(tb testing.TB) []Backend {
 		}
 		b, ok := byName[name]
 		if !ok {
-			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite)", EnvFilter, filter, name)
+			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite, http)", EnvFilter, filter, name)
 		}
 		out = append(out, b)
 	}

@@ -94,17 +94,19 @@ var errInvalidDir = errors.New("resultstore: empty store directory")
 // OpenIfSet resolves the CLI store flags: a nil Store (run without one)
 // when the locator is empty or the store is disabled, an opened store
 // otherwise. The locator takes the -store flag's backend syntax: a
-// bare directory (the fs default), fs:DIR, mem:, or sqlite:FILE.db.
-func OpenIfSet(locator string, disabled bool) (*Store, error) {
+// bare directory (the fs default), fs:DIR, mem:, sqlite:FILE.db, or an
+// http(s)://HOST/c/ID campaign hosted by rtrserved (opts tunes the
+// wire client — token, timeout; at most one may be passed).
+func OpenIfSet(locator string, disabled bool, opts ...backendurl.HTTPOptions) (*Store, error) {
 	if disabled || locator == "" {
 		return nil, nil
 	}
-	return OpenURL("-store", locator)
+	return OpenURL("-store", locator, opts...)
 }
 
 // OpenURL opens the store named by a backend locator (see
 // internal/backendurl), attributing parse errors to the given flag.
-func OpenURL(flag, locator string) (*Store, error) {
+func OpenURL(flag, locator string, opts ...backendurl.HTTPOptions) (*Store, error) {
 	loc, err := backendurl.Parse(flag, locator)
 	if err != nil {
 		return nil, err
@@ -114,10 +116,24 @@ func OpenURL(flag, locator string) (*Store, error) {
 		return OpenMem(), nil
 	case backendurl.SchemeSQLite:
 		return OpenSQLite(loc.Path)
+	case backendurl.SchemeHTTP, backendurl.SchemeHTTPS:
+		var o backendurl.HTTPOptions
+		if len(opts) > 0 {
+			o = opts[0]
+		}
+		b, err := backendurl.NewHTTPStore(loc, o)
+		if err != nil {
+			return nil, err
+		}
+		return FromBackend(b), nil
 	default:
 		return Open(loc.Path)
 	}
 }
+
+// The wire backend implements the Backend contract structurally —
+// backendurl cannot import this package — so pin it here.
+var _ Backend = (*backendurl.HTTPStore)(nil)
 
 // Open creates (if needed) and opens the filesystem store rooted at dir.
 func Open(dir string) (*Store, error) {

@@ -1,0 +1,200 @@
+// Package wire defines the versioned JSON message types spoken between
+// rtrserved and its clients (the http: backend in internal/backendurl,
+// curl users, and the conformance suites).
+//
+// The JSON encoding is the compatibility surface of the control plane,
+// so it lives in its own importable package rather than as private
+// structs inside the server. Every message carries an explicit
+// api_version field; decoders reject versions this build does not
+// speak with a message-pinned error so a v1 worker talking to a v9
+// server fails loudly and nameably instead of mis-parsing.
+package wire
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// APIVersion is the protocol generation this build speaks. Bump it on
+// any change that is not strictly additive (new optional fields are
+// fine; renames, semantic changes, and removals are not).
+const APIVersion = 1
+
+// Spec is a declarative campaign submission: the CLI-shaped parameters
+// of a sweep, not the in-process sweep.Spec (which holds graph
+// pointers and policy constructors and cannot cross the wire). The
+// server turns it back into a runnable plan via the renderer installed
+// by cmd/rtrserved.
+type Spec struct {
+	V int `json:"api_version"`
+
+	// Kind selects the plan family: "suite" runs the rtrrepro
+	// experiment suite, "sweep" the rtrsim policy-grid table.
+	Kind string `json:"kind"`
+
+	Seed      int64   `json:"seed,omitempty"`
+	Apps      int     `json:"apps,omitempty"`
+	RUs       []int   `json:"rus,omitempty"`
+	LatencyMS float64 `json:"latency_ms,omitempty"`
+	Parallel  int     `json:"parallel,omitempty"`
+
+	// Suite-only: experiment IDs to run (empty = all).
+	Only []string `json:"only,omitempty"`
+
+	// Sweep-only: workload name plus the policy grid switches.
+	Workload string   `json:"workload,omitempty"`
+	Policies []string `json:"policies,omitempty"`
+	Skip     bool     `json:"skip,omitempty"`
+	Prefetch bool     `json:"prefetch,omitempty"`
+}
+
+// Created is the response to POST /v1/campaigns.
+type Created struct {
+	V    int    `json:"api_version"`
+	ID   string `json:"id"`
+	Path string `json:"path"` // campaign base path on this server, e.g. /c/<id>
+}
+
+// ShardStatus mirrors coord.ShardStatus for the wire.
+type ShardStatus struct {
+	Shard    int    `json:"shard"`
+	State    string `json:"state"` // pending | leased | expired | done
+	Owner    string `json:"owner,omitempty"`
+	Attempts int    `json:"attempts"`
+}
+
+// Status is the response to GET /v1/campaigns/{id}/status: the
+// PoolWatch / CheckDrained verdicts plus the per-shard table.
+type Status struct {
+	V           int           `json:"api_version"`
+	ID          string        `json:"id"`
+	Initialised bool          `json:"initialised"`
+	Shards      []ShardStatus `json:"shards,omitempty"`
+	Done        int           `json:"done"`
+	Drained     bool          `json:"drained"`
+	// Dead is non-empty when the pool is wedged: every unfinished
+	// shard has exhausted its lease with no live owner.
+	Dead string `json:"dead,omitempty"`
+}
+
+// RowEvent is one SSE payload on GET /v1/campaigns/{id}/rows. Text is
+// a verbatim chunk of the report stream; concatenating Text over Seq
+// order reproduces the local report byte-for-byte.
+type RowEvent struct {
+	V    int    `json:"api_version"`
+	Seq  int    `json:"seq"`
+	Text string `json:"text"`
+}
+
+// VisitLine is one NDJSON record on GET {base}/store/visit. Data is
+// base64 per encoding/json convention. The final line has EOF set and
+// carries the backend's junk count instead of an object.
+type VisitLine struct {
+	Key  string `json:"key,omitempty"`
+	Data []byte `json:"data,omitempty"`
+	EOF  bool   `json:"eof,omitempty"`
+	Junk int    `json:"junk,omitempty"`
+}
+
+// Names is the response to GET {base}/coord/list.
+type Names struct {
+	Names []string `json:"names"`
+}
+
+// Now is the response to GET {base}/now: the server pool clock.
+type Now struct {
+	UnixNano int64 `json:"unix_nano"`
+}
+
+// Error is the JSON error body for any non-2xx control-plane response.
+type Error struct {
+	V       int    `json:"api_version"`
+	Message string `json:"error"`
+}
+
+// CheckVersion validates an api_version field pulled off the wire.
+// The message names both sides so mixed deployments are diagnosable
+// from either end.
+func CheckVersion(got int, msg string) error {
+	if got != APIVersion {
+		return fmt.Errorf("wire: %s has api_version %d, this build speaks v%d", msg, got, APIVersion)
+	}
+	return nil
+}
+
+// DecodeSpec reads and validates a Spec submission.
+func DecodeSpec(r io.Reader) (Spec, error) {
+	var s Spec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("wire: bad campaign spec: %v", err)
+	}
+	if err := CheckVersion(s.V, "campaign spec"); err != nil {
+		return Spec{}, err
+	}
+	switch s.Kind {
+	case "suite", "sweep":
+	default:
+		return Spec{}, fmt.Errorf("wire: campaign spec kind %q (want suite or sweep)", s.Kind)
+	}
+	return s, nil
+}
+
+// WriteEvent emits one SSE frame: an optional event name, the JSON
+// encoding of v as the data line, and the blank-line terminator.
+func WriteEvent(w io.Writer, event string, v any) error {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return err
+	}
+	if event != "" {
+		if _, err := fmt.Fprintf(w, "event: %s\n", event); err != nil {
+			return err
+		}
+	}
+	_, err = fmt.Fprintf(w, "data: %s\n\n", data)
+	return err
+}
+
+// ReadEvents parses an SSE stream, invoking fn once per frame with the
+// event name ("" when absent) and the raw data bytes. It returns when
+// the stream ends or fn errors.
+func ReadEvents(r io.Reader, fn func(event string, data []byte) error) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	event, data, have := "", strings.Builder{}, false
+	flush := func() error {
+		if !have {
+			return nil
+		}
+		err := fn(event, []byte(data.String()))
+		event, have = "", false
+		data.Reset()
+		return err
+	}
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case line == "":
+			if err := flush(); err != nil {
+				return err
+			}
+		case strings.HasPrefix(line, "event: "):
+			event, have = strings.TrimPrefix(line, "event: "), true
+		case strings.HasPrefix(line, "data: "):
+			if data.Len() > 0 {
+				data.WriteByte('\n')
+			}
+			data.WriteString(strings.TrimPrefix(line, "data: "))
+			have = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return flush()
+}

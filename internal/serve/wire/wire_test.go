@@ -1,0 +1,80 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestDecodeSpecVersionPinned pins the unknown-version message: mixed
+// deployments must be diagnosable from the error text alone.
+func TestDecodeSpecVersionPinned(t *testing.T) {
+	_, err := DecodeSpec(strings.NewReader(`{"api_version":9,"kind":"suite"}`))
+	if err == nil {
+		t.Fatal("future api_version accepted")
+	}
+	want := "wire: campaign spec has api_version 9, this build speaks v1"
+	if err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestDecodeSpecRejects(t *testing.T) {
+	cases := map[string]string{
+		`{"api_version":1,"kind":"dance"}`:           `wire: campaign spec kind "dance" (want suite or sweep)`,
+		`{"api_version":1,"kind":"suite",}`:          "", // malformed JSON: message prefix only
+		`{"api_version":1,"kind":"suite","bogus":3}`: "",
+	}
+	for raw, want := range cases {
+		_, err := DecodeSpec(strings.NewReader(raw))
+		if err == nil {
+			t.Errorf("DecodeSpec(%s): want error", raw)
+			continue
+		}
+		if want != "" && err.Error() != want {
+			t.Errorf("DecodeSpec(%s) = %q, want %q", raw, err.Error(), want)
+		}
+		if want == "" && !strings.HasPrefix(err.Error(), "wire: bad campaign spec: ") {
+			t.Errorf("DecodeSpec(%s) = %q, want wire: bad campaign spec prefix", raw, err.Error())
+		}
+	}
+}
+
+func TestDecodeSpecRoundTrip(t *testing.T) {
+	s, err := DecodeSpec(strings.NewReader(
+		`{"api_version":1,"kind":"sweep","workload":"fig2","rus":[4,6],"policies":["blind"],"skip":true}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Kind != "sweep" || s.Workload != "fig2" || len(s.RUs) != 2 || !s.Skip {
+		t.Errorf("decoded spec %+v", s)
+	}
+}
+
+// TestSSERoundTrip: frames written by WriteEvent come back through
+// ReadEvents in order with event names intact.
+func TestSSERoundTrip(t *testing.T) {
+	var buf strings.Builder
+	rows := []RowEvent{
+		{V: APIVersion, Seq: 0, Text: "policy  RUs\n"},
+		{V: APIVersion, Seq: 1, Text: "blind     4\n"},
+	}
+	for _, r := range rows {
+		if err := WriteEvent(&buf, "row", r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := WriteEvent(&buf, "done", Status{V: APIVersion, Drained: true}); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	err := ReadEvents(strings.NewReader(buf.String()), func(event string, data []byte) error {
+		got = append(got, event)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != "row" || got[2] != "done" {
+		t.Errorf("events %v", got)
+	}
+}

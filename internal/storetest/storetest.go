@@ -1,5 +1,6 @@
 // Package storetest is the result-store conformance harness: a
-// registry of every persistence backend (fs, mem, sqlite) and one
+// registry of every persistence backend (fs, mem, sqlite, http —
+// the last over a live in-process control plane) and one
 // shared suite of the behavioral properties the sweeps and CI gates
 // pin — serve/miss accounting, schema invalidation, ElapsedHint
 // survival across schema bumps, GC's keep-predicate, reopen
@@ -17,6 +18,7 @@ package storetest
 import (
 	"encoding/json"
 	"fmt"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -24,18 +26,22 @@ import (
 	"sync"
 	"testing"
 
+	"repro/internal/backendurl"
 	"repro/internal/resultstore"
+	"repro/internal/serve"
+	"repro/internal/serve/wire"
 	"repro/internal/simtime"
 )
 
 // EnvFilter is the environment variable the CI backend matrix sets to
 // restrict the registry: a comma list of backend names ("fs", "mem",
-// "sqlite"). Empty or unset runs all of them.
+// "sqlite", "http"). Empty or unset runs all of them.
 const EnvFilter = "RTR_BACKEND"
 
 // Backend is one registered store backend under test.
 type Backend struct {
-	// Name is the registry (and CI matrix) name: "fs", "mem", "sqlite".
+	// Name is the registry (and CI matrix) name: "fs", "mem",
+	// "sqlite", "http".
 	Name string
 	// Open returns a fresh, empty store plus a reopen function that
 	// opens a second handle over the same data with fresh counters —
@@ -88,7 +94,50 @@ func registry() []Backend {
 				return open(tb), open
 			},
 		},
+		{
+			// http runs the suite against a live control plane: the same
+			// mem backend the "mem" entry tests, reached through the wire
+			// client — pinning that the HTTP hop (auth, retries, NDJSON
+			// enumeration) preserves every store property.
+			Name: "http",
+			Open: func(tb testing.TB) (*resultstore.Store, func(tb testing.TB) *resultstore.Store) {
+				base, opts := HTTPCampaign(tb)
+				open := func(tb testing.TB) *resultstore.Store {
+					loc, err := backendurl.Parse("-store", base)
+					if err != nil {
+						tb.Fatal(err)
+					}
+					b, err := backendurl.NewHTTPStore(loc, opts)
+					if err != nil {
+						tb.Fatal(err)
+					}
+					return resultstore.FromBackend(b)
+				}
+				return open(tb), open
+			},
+		},
 	}
+}
+
+// HTTPCampaign starts an in-process control plane (mem state root,
+// bearer auth on) hosting one campaign, and returns the campaign's
+// base URL plus the wire-client options that authenticate against it.
+// Both conformance registries use it to run their suites over a live
+// server; the server dies with the test.
+func HTTPCampaign(tb testing.TB) (string, backendurl.HTTPOptions) {
+	tb.Helper()
+	const token = "conformance-token"
+	srv, err := serve.New(serve.Config{State: "mem:", Token: token})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	c, err := srv.Create(wire.Spec{V: wire.APIVersion, Kind: "suite"})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	tb.Cleanup(ts.Close)
+	return ts.URL + "/c/" + c.ID(), backendurl.HTTPOptions{Token: token}
 }
 
 // Backends returns the registered backends, filtered by the EnvFilter
@@ -113,7 +162,7 @@ func Backends(tb testing.TB) []Backend {
 		}
 		b, ok := byName[name]
 		if !ok {
-			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite)", EnvFilter, filter, name)
+			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite, http)", EnvFilter, filter, name)
 		}
 		out = append(out, b)
 	}
