@@ -63,6 +63,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -145,6 +146,7 @@ func main() {
 		Latency:       simtime.FromMs(*latency),
 		CSV:           *csv,
 		Parallel:      setup.Parallel,
+		Retries:       setup.Retries,
 		Store:         store,
 		RequireStored: setup.Merge,
 	}
@@ -155,8 +157,11 @@ func main() {
 	}
 
 	var poolWatch *coord.PoolWatch
+	out := io.Writer(os.Stdout)
 	if setup.Coord != nil {
-		cfg := setup.Coord.Config(coordFingerprint(opt, selected))
+		fingerprint := coordFingerprint(opt, selected)
+		cfg := setup.Coord.Config(fingerprint)
+		cks := coord.NewCheckpointStore(setup.Coord.Backend)
 		if !setup.Merge {
 			c, err := coord.Open(cfg)
 			if errors.Is(err, coord.ErrUninitialised) {
@@ -165,6 +170,9 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
+			// Checkpointed populate: a re-leased shard resumes past the
+			// spec indices a dead worker's attempt already stored.
+			opt.Checkpoints, opt.Fingerprint = cks, fingerprint
 			stats, err := c.RunWorkers(setup.Coord.Workers, func(r coord.ShardRun) error {
 				sh := sweep.Shard{Index: r.Shard, Count: r.Count}
 				st, err := experiments.Populate(opt, selected, sh)
@@ -196,6 +204,21 @@ func main() {
 			poolWatch = pw
 			defer poolWatch.Stop()
 			opt.StoreWait = &sweep.StoreWait{Poll: poll, Done: poolWatch.Done}
+			// Checkpointed render: a killed watch merge left the byte
+			// offset it had printed; the resumed render re-renders from
+			// the store (pure serve hits) and suppresses exactly that
+			// prefix, so partial-output + resumed-output reassemble the
+			// plain report byte for byte. A completed merge resets the
+			// offset so a deliberate re-render prints in full.
+			if resume := campaign.LoadMergeOffset(cks, fingerprint); resume > 0 {
+				fmt.Fprintf(os.Stderr, "merge checkpoint: resuming at byte offset %d\n", resume)
+				out = &campaign.CheckpointedWriter{W: os.Stdout, Resume: resume,
+					Save: func(total int64) { campaign.SaveMergeOffset(cks, fingerprint, total) }}
+			} else {
+				out = &campaign.CheckpointedWriter{W: os.Stdout,
+					Save: func(total int64) { campaign.SaveMergeOffset(cks, fingerprint, total) }}
+			}
+			defer campaign.SaveMergeOffset(cks, fingerprint, 0)
 		}
 	}
 	if setup.HasShard {
@@ -209,7 +232,7 @@ func main() {
 		return
 	}
 
-	if err := campaign.RenderSuite(opt, selected, os.Stdout); err != nil {
+	if err := campaign.RenderSuite(opt, selected, out); err != nil {
 		fatal(err)
 	}
 	if poolWatch != nil {

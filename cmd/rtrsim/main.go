@@ -53,6 +53,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"repro/internal/artifact"
@@ -148,7 +149,7 @@ func main() {
 	if len(units) == 1 && len(policies) == 1 && !sharded {
 		runSingle(*wl, seq, singleOptions{
 			spec: policies[0], rus: units[0], latency: simtime.FromMs(*latency),
-			skip: *skip, prefetch: *prefetch,
+			skip: *skip, prefetch: *prefetch, retries: setup.Retries,
 			gantt: *gantt, tick: *tick, svgOut: *svgOut, traceOut: *traceOut,
 		}, store)
 	} else {
@@ -177,6 +178,7 @@ type singleOptions struct {
 	rus            int
 	latency        simtime.Time
 	skip, prefetch bool
+	retries        int
 	gantt          bool
 	tick           float64
 	svgOut         string
@@ -194,7 +196,7 @@ func runSingle(wl string, seq []*taskgraph.Graph, o singleOptions, store *result
 	if store != nil && !needTrace {
 		ps := o.spec
 		ps.CrossGraphPrefetch = o.prefetch
-		rs, err := sweep.Executor{Store: store}.Run(sweep.Spec{
+		rs, err := sweep.Executor{Store: store, MaxScenarioRetries: o.retries}.Run(sweep.Spec{
 			Workloads: []sweep.Workload{{Seq: seq}},
 			RUs:       []int{o.rus},
 			Latencies: []simtime.Time{o.latency},
@@ -290,6 +292,7 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, setup campaign.
 	}
 	var storeWait *sweep.StoreWait
 	var poolWatch *coord.PoolWatch
+	out := io.Writer(os.Stdout)
 	if setup.Coord != nil {
 		// A pool populate (or a merge against one) is only useful if the
 		// grid can be persisted — an uncacheable spec would simulate
@@ -297,7 +300,9 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, setup campaign.
 		if err := spec.Cacheable(); err != nil {
 			fatal(fmt.Errorf("-coord: %w", err))
 		}
-		cfg := setup.Coord.Config(sweepFingerprint(wl, &spec))
+		fingerprint := sweepFingerprint(wl, &spec)
+		cfg := setup.Coord.Config(fingerprint)
+		cks := coord.NewCheckpointStore(setup.Coord.Backend)
 		if !setup.Merge {
 			c, err := coord.Open(cfg)
 			if errors.Is(err, coord.ErrUninitialised) {
@@ -309,7 +314,11 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, setup campaign.
 			stats, err := c.RunWorkers(setup.Coord.Workers, func(r coord.ShardRun) error {
 				sp := spec
 				sp.Shard = sweep.Shard{Index: r.Shard, Count: r.Count}
-				if err := (sweep.Executor{Workers: setup.Parallel, Store: store}).Collect(sp, sweep.Discard); err != nil {
+				// Checkpointed populate: a re-leased shard resumes past the
+				// spec indices a dead worker's attempt already stored.
+				ex := sweep.Executor{Workers: setup.Parallel, Store: store, MaxScenarioRetries: setup.Retries}
+				if _, err := ex.CollectResumable(sp, sweep.Discard, cks,
+					fmt.Sprintf("shard-%04d/sweep", r.Shard), fingerprint); err != nil {
 					return err
 				}
 				n := sp.Size()
@@ -333,11 +342,25 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, setup campaign.
 			poolWatch = pw
 			defer poolWatch.Stop()
 			storeWait = &sweep.StoreWait{Poll: poll, Done: poolWatch.Done}
+			// Checkpointed render: a killed watch merge left the byte
+			// offset it had printed; the resumed render re-renders from the
+			// store and suppresses exactly that prefix, so partial output +
+			// resumed output reassemble the plain table byte for byte.
+			if resume := campaign.LoadMergeOffset(cks, fingerprint); resume > 0 {
+				fmt.Fprintf(os.Stderr, "merge checkpoint: resuming at byte offset %d\n", resume)
+				out = &campaign.CheckpointedWriter{W: os.Stdout, Resume: resume,
+					Save: func(total int64) { campaign.SaveMergeOffset(cks, fingerprint, total) }}
+			} else {
+				out = &campaign.CheckpointedWriter{W: os.Stdout,
+					Save: func(total int64) { campaign.SaveMergeOffset(cks, fingerprint, total) }}
+			}
+			defer campaign.SaveMergeOffset(cks, fingerprint, 0)
 		}
 	}
 	if setup.HasShard {
 		spec.Shard = setup.Shard
-		if err := (sweep.Executor{Workers: setup.Parallel, Store: store}).Collect(spec, sweep.Discard); err != nil {
+		ex := sweep.Executor{Workers: setup.Parallel, Store: store, MaxScenarioRetries: setup.Retries}
+		if err := ex.Collect(spec, sweep.Discard); err != nil {
 			fatal(err)
 		}
 		n := spec.Size()
@@ -345,8 +368,9 @@ func runSweep(wl string, seq []*taskgraph.Graph, o sweepOptions, setup campaign.
 			setup.Shard, setup.Shard.SizeOf(n), n, n-setup.Shard.SizeOf(n))
 		return
 	}
-	ex := sweep.Executor{Workers: setup.Parallel, Store: store, RequireStored: setup.Merge, StoreWait: storeWait}
-	if err := campaign.RenderSweepTable(wl, len(seq), spec, ex, os.Stdout); err != nil {
+	ex := sweep.Executor{Workers: setup.Parallel, Store: store, RequireStored: setup.Merge,
+		StoreWait: storeWait, MaxScenarioRetries: setup.Retries}
+	if err := campaign.RenderSweepTable(wl, len(seq), spec, ex, out); err != nil {
 		fatal(err)
 	}
 	if poolWatch != nil {

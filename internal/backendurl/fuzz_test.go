@@ -1,0 +1,56 @@
+package backendurl
+
+import "testing"
+
+// FuzzParseLocator throws arbitrary flag values at the locator parser
+// and checks the two properties every caller relies on: Parse never
+// panics, and a successful parse is canonical — String() reparses
+// without error to the identical Locator, so a locator can round-trip
+// through config files, process boundaries and error messages without
+// drifting. CI runs this a few seconds per push; the checked-in corpus
+// under testdata/fuzz keeps the interesting shapes regression-tested
+// by plain `go test` forever.
+func FuzzParseLocator(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		".rtr-store",
+		"fs:/mnt/campaign",
+		"fs:",
+		"mem:",
+		"mem:oops",
+		"sqlite:campaign.db",
+		"sqlite:",
+		"http://host:8080/c/ID",
+		"https://host/c/ID",
+		"http:",
+		"http://",
+		"ftp:thing",
+		"C:\\x",
+		"a:b",
+		"FS:Mixed/Case",
+		"fs:a//b/.",
+		"..",
+		"mem::",
+		"http:relative",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		loc, err := Parse("-store", raw)
+		if err != nil {
+			return // rejected input: the only property is "no panic"
+		}
+		if loc.Scheme == "" {
+			t.Fatalf("Parse(%q) accepted with empty scheme: %+v", raw, loc)
+		}
+		again, err := Parse("-store", loc.String())
+		if err != nil {
+			t.Fatalf("Parse(%q) = %+v, but reparsing its String %q failed: %v",
+				raw, loc, loc.String(), err)
+		}
+		if again != loc {
+			t.Fatalf("Parse(%q) = %+v is not canonical: String %q reparses to %+v",
+				raw, loc, loc.String(), again)
+		}
+	})
+}

@@ -1,7 +1,6 @@
 package backendurl
 
 import (
-	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -191,35 +190,15 @@ func (s *HTTPStore) Delete(key string) error {
 
 // Visit streams {campaign}/store/visit: NDJSON wire.VisitLine records,
 // one per object, closed by an EOF trailer carrying the server-side
-// junk count. A stream that ends without the trailer is an error (a
-// truncated enumeration must not look like a complete one to GC).
+// junk count. Decoding — including the refusal to treat a stream with
+// no trailer as complete — lives in wire.ReadVisit, shared with the
+// server's own tests and the fuzz corpus.
 func (s *HTTPStore) Visit(fn func(key string, data []byte) error) (int, error) {
 	data, err := s.c.do(http.MethodGet, "/store/visit", nil)
 	if err != nil {
 		return 0, err
 	}
-	sc := bufio.NewScanner(bytes.NewReader(data))
-	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		var rec wire.VisitLine
-		if err := json.Unmarshal(line, &rec); err != nil {
-			return 0, fmt.Errorf("backendurl: visit stream: %v", err)
-		}
-		if rec.EOF {
-			return rec.Junk, nil
-		}
-		if err := fn(rec.Key, rec.Data); err != nil {
-			return 0, err
-		}
-	}
-	if err := sc.Err(); err != nil {
-		return 0, err
-	}
-	return 0, fmt.Errorf("backendurl: visit stream truncated (no trailer)")
+	return wire.ReadVisit(bytes.NewReader(data), fn)
 }
 
 func (s *HTTPStore) Location() string { return s.c.base }

@@ -1,0 +1,35 @@
+package coord
+
+// CheckpointStore persists sweep checkpoint records (see
+// sweep.Checkpoint) in a pool's coordination backend under the
+// "checkpoint/" prefix — a namespace the lease protocol never touches:
+// shard inspection lists only "shard-NNNN/" prefixes and the state
+// record lives at "coordinator.json", so checkpoints ride along every
+// backend, including the http control plane (the server's coordinator
+// key grammar already admits slash-separated paths), without any
+// protocol change.
+type CheckpointStore struct {
+	b Backend
+}
+
+// NewCheckpointStore wraps the pool's backend for checkpoint traffic.
+func NewCheckpointStore(b Backend) *CheckpointStore { return &CheckpointStore{b: b} }
+
+func checkpointKey(name string) string { return "checkpoint/" + name }
+
+// LoadCheckpoint returns the raw record saved under name, or false when
+// none exists or the backend cannot read it — resuming is an
+// optimisation, so read failures degrade to a cold start, never an
+// error.
+func (s *CheckpointStore) LoadCheckpoint(name string) ([]byte, bool) {
+	data, err := s.b.Get(checkpointKey(name))
+	if err != nil {
+		return nil, false
+	}
+	return data, true
+}
+
+// SaveCheckpoint atomically replaces the record under name.
+func (s *CheckpointStore) SaveCheckpoint(name string, data []byte) error {
+	return s.b.Put(checkpointKey(name), data)
+}

@@ -20,18 +20,19 @@ import (
 
 	"repro/internal/backendurl"
 	"repro/internal/coord"
+	"repro/internal/faultstore"
 	"repro/internal/storetest"
 )
 
 // EnvFilter is the environment variable the CI backend matrix sets to
 // restrict the registry: a comma list of backend names ("fs", "mem",
-// "sqlite", "http"). Empty or unset runs all of them.
+// "sqlite", "fault", "http"). Empty or unset runs all of them.
 const EnvFilter = "RTR_BACKEND"
 
 // Backend is one registered coordinator backend under test.
 type Backend struct {
 	// Name is the registry (and CI matrix) name: "fs", "mem",
-	// "sqlite", "http".
+	// "sqlite", "fault", "http".
 	Name string
 	// New creates one fresh, empty pool state and returns a handle
 	// factory: every call yields a coord.Backend over that same state
@@ -88,6 +89,22 @@ func registry() []Backend {
 			},
 		},
 		{
+			// fault runs the lease protocol through the fault-injection
+			// decorator (internal/faultstore) over mem, with seeded real-time
+			// latency on every backend call. Expiry arithmetic still runs on
+			// the injected fake clock, so the jitter shakes out ordering
+			// assumptions without perturbing lease timings. Latency only —
+			// the suite asserts exact claim/attempt counts.
+			Name: "fault",
+			New: func(tb testing.TB) func(clk func() time.Time) coord.Backend {
+				plan := faultstore.NewPlan(1).WithLatency(500 * time.Microsecond)
+				shared := faultstore.WrapCoord(coord.NewMem(), plan)
+				return func(clk func() time.Time) coord.Backend {
+					return reclocked{Backend: shared, clk: clk}
+				}
+			},
+		},
+		{
 			// http runs the lease protocol against a live control plane.
 			// The fake clock replaces the server-clock Now (the expiry
 			// arithmetic under test is client-side either way); Get/Put/
@@ -132,7 +149,7 @@ func Backends(tb testing.TB) []Backend {
 		}
 		b, ok := byName[name]
 		if !ok {
-			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite, http)", EnvFilter, filter, name)
+			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite, fault, http)", EnvFilter, filter, name)
 		}
 		out = append(out, b)
 	}
@@ -370,6 +387,56 @@ func Conformance(t *testing.T, b Backend) {
 		}
 		if drained, err := c.Drained(); !drained || err != nil {
 			t.Fatalf("finished pool: drained=%v err=%v, want true", drained, err)
+		}
+	})
+
+	t.Run("CheckpointRoundTrip", func(t *testing.T) {
+		clk := NewClock()
+		newHandle := b.New(t)
+		handle := newHandle(clk.Now)
+		c := open(t, handle, 2, "w")
+
+		// Missing records read as absent, saves round-trip verbatim, and
+		// a re-save overwrites (last writer wins — exactly Put's contract).
+		cks := coord.NewCheckpointStore(handle)
+		const name = "shard-0000/grid0"
+		if _, ok := cks.LoadCheckpoint(name); ok {
+			t.Fatal("phantom checkpoint before any save")
+		}
+		rec := []byte(`{"schema":1,"fingerprint":"fp","collected":7}`)
+		if err := cks.SaveCheckpoint(name, rec); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := cks.LoadCheckpoint(name); !ok || string(got) != string(rec) {
+			t.Fatalf("load after save = %q, %v; want the saved record", got, ok)
+		}
+		rec2 := []byte(`{"schema":1,"fingerprint":"fp","collected":9}`)
+		if err := cks.SaveCheckpoint(name, rec2); err != nil {
+			t.Fatal(err)
+		}
+		if got, ok := cks.LoadCheckpoint(name); !ok || string(got) != string(rec2) {
+			t.Fatalf("load after re-save = %q, %v; want the newer record", got, ok)
+		}
+		// The checkpoint namespace is invisible to the lease protocol:
+		// the pool still drains exactly as if no checkpoints existed.
+		for shard := 0; shard < 2; shard++ {
+			lease, err := c.Claim()
+			if err != nil || lease == nil {
+				t.Fatal(lease, err)
+			}
+			if err := lease.Done(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if drained, err := c.Drained(); !drained || err != nil {
+			t.Fatalf("drained = %v, %v with checkpoints present, want clean drain", drained, err)
+		}
+		st, err := c.Status()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.MaxAttempts() != 1 {
+			t.Errorf("max attempts = %d, want 1 — checkpoint records must not read as claims", st.MaxAttempts())
 		}
 	})
 

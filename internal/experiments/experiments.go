@@ -67,6 +67,22 @@ type Options struct {
 	// pointless (pool drained or dead); see internal/sweep.StoreWait and
 	// coord.(*Coordinator).Drained.
 	StoreWait *sweep.StoreWait
+	// Retries is the per-scenario retry budget (-max-scenario-retries):
+	// a live-simulation failure reruns up to this many extra times with
+	// jittered exponential backoff before failing the sweep, and the
+	// attempt count lands in the store entry. 0 fails on the first error.
+	Retries int
+	// Checkpoints, when non-nil, makes sharded populates resumable
+	// mid-grid: Populate loads per-grid checkpoints, skips the prefix
+	// the store already acknowledged, and saves fresh progress as
+	// results land — so a re-leased shard repeats only the work since
+	// the dead worker's last save. Fingerprint must be the campaign
+	// fingerprint (the same identity the coordinator vets at Open);
+	// checkpoints recorded under a different one are ignored.
+	Checkpoints sweep.CheckpointStore
+	// Fingerprint guards Checkpoints records against grids they do not
+	// belong to.
+	Fingerprint string
 }
 
 // DefaultOptions returns the paper's parameters.
@@ -130,7 +146,11 @@ func (o Options) sequence() ([]*taskgraph.Graph, error) {
 // share, honouring the Parallel, Store, RequireStored and StoreWait
 // options.
 func (o Options) executor() sweep.Executor {
-	return sweep.Executor{Workers: o.Parallel, Store: o.Store, RequireStored: o.RequireStored, StoreWait: o.StoreWait}
+	return sweep.Executor{
+		Workers: o.Parallel, Store: o.Store,
+		RequireStored: o.RequireStored, StoreWait: o.StoreWait,
+		MaxScenarioRetries: o.Retries,
+	}
 }
 
 // sweepWorkload wraps the Fig. 9 inputs as a sweep workload.
@@ -191,6 +211,10 @@ type PopulateStats struct {
 	Ran int
 	// SkippedByShard is how many scenarios other shards own.
 	SkippedByShard int
+	// Resumed is how many owned scenarios per-grid checkpoints skipped
+	// (work a previous attempt at this shard already stored); they are
+	// counted in Ran too, like store hits.
+	Resumed int
 }
 
 // Populate executes one shard's slice of every selected experiment's
@@ -208,7 +232,7 @@ func Populate(opt Options, exps []Experiment, shard sweep.Shard) (PopulateStats,
 	}
 	// Populate always simulates what the store lacks; RequireStored is
 	// the merge side of the protocol, never the populate side.
-	ex := sweep.Executor{Workers: opt.Parallel, Store: opt.Store}
+	ex := sweep.Executor{Workers: opt.Parallel, Store: opt.Store, MaxScenarioRetries: opt.Retries}
 	for _, e := range exps {
 		if e.Grids == nil {
 			continue
@@ -217,9 +241,18 @@ func Populate(opt Options, exps []Experiment, shard sweep.Shard) (PopulateStats,
 		if err != nil {
 			return st, fmt.Errorf("%s: %w", e.ID, err)
 		}
-		for _, sp := range specs {
+		for gi, sp := range specs {
 			sp.Shard = shard
-			if err := ex.Collect(sp, sweep.Discard); err != nil {
+			if opt.Checkpoints != nil {
+				// One checkpoint per (shard, grid): a re-leased shard skips
+				// the spec indices a previous attempt already stored.
+				name := fmt.Sprintf("shard-%04d/%s-grid%d", shard.Index, e.ID, gi)
+				resumed, err := ex.CollectResumable(sp, sweep.Discard, opt.Checkpoints, name, opt.Fingerprint)
+				st.Resumed += resumed
+				if err != nil {
+					return st, fmt.Errorf("%s: %w", e.ID, err)
+				}
+			} else if err := ex.Collect(sp, sweep.Discard); err != nil {
 				return st, fmt.Errorf("%s: %w", e.ID, err)
 			}
 			n := sp.Size()

@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"testing"
+
+	"repro/internal/coord"
+	"repro/internal/resultstore"
+	"repro/internal/sweep"
+)
+
+// TestPopulateResumesFromCheckpoints: a second populate of the same
+// shard with the same checkpoint store skips every owned scenario
+// outright — no probes, no writes — and reports them as Resumed, while
+// a foreign fingerprint ignores the checkpoints and falls back to
+// store hits (the slower but equally correct resume path).
+func TestPopulateResumesFromCheckpoints(t *testing.T) {
+	e, ok := ByID("fig9a")
+	if !ok {
+		t.Fatal("fig9a experiment missing")
+	}
+	exps := []Experiment{e}
+	opt := Options{
+		Seed: 2011, Apps: 10, RUs: []int{4, 5},
+		Store:       resultstore.OpenMem(),
+		Checkpoints: coord.NewCheckpointStore(coord.NewMem()),
+		Fingerprint: "fp",
+	}
+	sh := sweep.Shard{Index: 0, Count: 2}
+
+	st1, err := Populate(opt, exps, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st1.Resumed != 0 {
+		t.Fatalf("cold populate resumed %d scenarios, want 0", st1.Resumed)
+	}
+	if st1.Ran == 0 {
+		t.Fatal("cold populate ran nothing — test workload too small")
+	}
+	hits1, misses1, puts1 := opt.Store.Stats()
+
+	st2, err := Populate(opt, exps, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Resumed != st2.Ran || st2.Ran != st1.Ran {
+		t.Fatalf("resumed populate: Resumed=%d Ran=%d, want both %d (everything checkpointed)",
+			st2.Resumed, st2.Ran, st1.Ran)
+	}
+	hits2, misses2, puts2 := opt.Store.Stats()
+	if hits2 != hits1 || misses2 != misses1 || puts2 != puts1 {
+		t.Fatalf("resumed populate touched the store: stats went %d/%d/%d → %d/%d/%d",
+			hits1, misses1, puts1, hits2, misses2, puts2)
+	}
+
+	// Foreign fingerprint: checkpoints read as absent, the store serves.
+	foreign := opt
+	foreign.Fingerprint = "other-campaign"
+	st3, err := Populate(foreign, exps, sh)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st3.Resumed != 0 {
+		t.Fatalf("foreign-fingerprint populate resumed %d, want 0", st3.Resumed)
+	}
+	hits3, _, puts3 := opt.Store.Stats()
+	if hits3 != hits1+int64(st1.Ran) || puts3 != puts1 {
+		t.Fatalf("foreign-fingerprint populate: hits %d → %d, puts %d → %d; want %d more hits, no new writes",
+			hits1, hits3, puts1, puts3, st1.Ran)
+	}
+}

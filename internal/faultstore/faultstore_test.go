@@ -1,0 +1,132 @@
+package faultstore
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/coord"
+	"repro/internal/resultstore"
+)
+
+func TestFailNextStoreLoadReadsAsMiss(t *testing.T) {
+	b := resultstore.NewMem()
+	if err := b.Store("k", []byte(`{"ok":true}`)); err != nil {
+		t.Fatal(err)
+	}
+	plan := NewPlan(7)
+	f := WrapStore(b, plan)
+	plan.FailNext(OpStoreLoad, "", 1)
+	if _, ok := f.Load("k"); ok {
+		t.Fatal("scripted load fault did not read as a miss")
+	}
+	if data, ok := f.Load("k"); !ok || string(data) != `{"ok":true}` {
+		t.Fatalf("second load = %q, %v — the script was one-shot", data, ok)
+	}
+	if got := plan.Injected()[OpStoreLoad]; got != 1 {
+		t.Fatalf("injected[%s] = %d, want 1", OpStoreLoad, got)
+	}
+}
+
+func TestTornWriteLeavesUndecodableHalf(t *testing.T) {
+	b := resultstore.NewMem()
+	plan := NewPlan(7)
+	f := WrapStore(b, plan)
+	plan.TornNext(OpStoreStore, "victim", 1)
+
+	payload := []byte(`{"schema_version":2,"scenario":"s"}`)
+	err := f.Store("victim", payload)
+	if err == nil || !strings.Contains(err.Error(), "injected store.store fault") {
+		t.Fatalf("torn write error = %v, want the injected-fault message", err)
+	}
+	half, ok := b.Load("victim")
+	if !ok || len(half) != len(payload)/2 {
+		t.Fatalf("underlying backend holds %d bytes (ok=%v), want the torn half (%d)",
+			len(half), ok, len(payload)/2)
+	}
+	// The reader side must reject the junk: through the Store layer the
+	// torn entry is a miss, never a half-parsed result.
+	if _, ok := resultstore.FromBackend(b).Get("victim"); ok {
+		t.Fatal("torn entry decoded as a valid result")
+	}
+	// And an untouched key writes through cleanly.
+	if err := f.Store("other", payload); err != nil {
+		t.Fatal(err)
+	}
+	if data, ok := b.Load("other"); !ok || len(data) != len(payload) {
+		t.Fatalf("clean write stored %d bytes (ok=%v), want %d", len(data), ok, len(payload))
+	}
+}
+
+func TestKeyMatchScoping(t *testing.T) {
+	plan := NewPlan(7)
+	f := WrapCoord(coord.NewMem(), plan)
+	plan.FailNext(OpCoordGet, "lease", 2)
+	if err := f.Put("shard-0000/lease", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Put("meta", []byte("y")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Get("meta"); err != nil {
+		t.Fatalf("fault scoped to %q hit key %q: %v", "lease", "meta", err)
+	}
+	if _, err := f.Get("shard-0000/lease"); err == nil {
+		t.Fatal("scripted coord.get fault did not fire on the matching key")
+	}
+	if _, err := f.Get("shard-0000/lease"); err == nil {
+		t.Fatal("second shot of the two-shot script did not fire")
+	}
+	if _, err := f.Get("shard-0000/lease"); err != nil {
+		t.Fatalf("exhausted script still firing: %v", err)
+	}
+	if plan.InjectedTotal() != 2 {
+		t.Fatalf("InjectedTotal() = %d, want 2", plan.InjectedTotal())
+	}
+}
+
+func TestCoordCreateFailsWithoutTearing(t *testing.T) {
+	b := coord.NewMem()
+	plan := NewPlan(7)
+	f := WrapCoord(b, plan)
+	plan.TornNext(OpCoordCreate, "", 1)
+	if err := f.Create("claim", []byte("owner")); err == nil {
+		t.Fatal("scripted create fault did not fire")
+	}
+	// Create never tears: a half-written claim no one holds would wedge
+	// the shard, so the key must be absent — and claimable — afterwards.
+	if _, err := b.Get("claim"); err == nil {
+		t.Fatal("failed Create left state behind")
+	}
+	if err := f.Create("claim", []byte("owner")); err != nil {
+		t.Fatalf("re-claim after injected failure: %v", err)
+	}
+}
+
+func TestWildcardAndLatency(t *testing.T) {
+	plan := NewPlan(7).WithLatency(100 * time.Microsecond)
+	f := WrapCoord(coord.NewMem(), plan)
+	plan.FailNext("*", "", 3)
+	if err := f.Put("a", nil); err == nil {
+		t.Fatal("wildcard script missed Put")
+	}
+	if _, err := f.List(""); err == nil {
+		t.Fatal("wildcard script missed List")
+	}
+	if _, err := f.Get("a"); err == nil {
+		t.Fatal("wildcard script missed Get")
+	}
+	// Latency-only from here on: semantics untouched, Now() delegated.
+	if err := f.Put("a", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if data, err := f.Get("a"); err != nil || string(data) != "v" {
+		t.Fatalf("Get under latency = %q, %v", data, err)
+	}
+	if f.Now().IsZero() {
+		t.Fatal("Now() must delegate to the backend clock")
+	}
+	if !strings.HasPrefix(f.Location(), "fault(") {
+		t.Fatalf("Location() = %q, want the fault(...) tag", f.Location())
+	}
+}

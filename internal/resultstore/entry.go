@@ -23,6 +23,18 @@ type Entry struct {
 	// it, and ElapsedHint serves it across schema versions.
 	ElapsedNS int64 `json:"elapsed_ns,omitempty"`
 
+	// Attempts is how many executions the scenario took before this
+	// result landed (1 = first try). LastError and RetriedAtNS record the
+	// final retried failure and when the winning attempt started, set
+	// only when Attempts > 1. Like ElapsedNS these are operational
+	// metadata, never part of the result: reports ignore them, so adding
+	// them did not bump SchemaVersion (strictly-additive optional fields
+	// never do — old entries simply decode with Attempts 0, meaning
+	// "recorded before retry bookkeeping existed").
+	Attempts    int    `json:"attempts,omitempty"`
+	LastError   string `json:"last_error,omitempty"`
+	RetriedAtNS int64  `json:"retried_at_ns,omitempty"`
+
 	Run     *Run             `json:"run"`
 	Ideal   *Run             `json:"ideal,omitempty"`
 	Summary *metrics.Summary `json:"summary,omitempty"`

@@ -69,6 +69,12 @@ import (
 //
 // v2: entries gained the measured ElapsedNS timing and keys stopped
 // folding in the schema version.
+//
+// Strictly-additive optional fields do NOT bump the version: ElapsedNS
+// landed inside v2, and the retry metadata (Attempts, LastError,
+// RetriedAtNS) followed the same pattern — old entries decode with the
+// zero values and stay servable, because reports never read these
+// fields.
 const SchemaVersion = 2
 
 // Store is a content-addressed result store over a Backend. The zero

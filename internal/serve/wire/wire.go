@@ -12,6 +12,7 @@ package wire
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -142,6 +143,37 @@ func DecodeSpec(r io.Reader) (Spec, error) {
 		return Spec{}, fmt.Errorf("wire: campaign spec kind %q (want suite or sweep)", s.Kind)
 	}
 	return s, nil
+}
+
+// ReadVisit parses an NDJSON visit stream — one VisitLine per stored
+// object, closed by the mandatory EOF trailer — invoking fn per record
+// and returning the trailer's junk count. A stream that ends without
+// the trailer is an error: a truncated enumeration must never look
+// like a complete one to a GC sweep. Both sides of the wire share this
+// decoder (the http: backend consumes it verbatim).
+func ReadVisit(r io.Reader, fn func(key string, data []byte) error) (int, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec VisitLine
+		if err := json.Unmarshal(line, &rec); err != nil {
+			return 0, fmt.Errorf("wire: visit stream: %v", err)
+		}
+		if rec.EOF {
+			return rec.Junk, nil
+		}
+		if err := fn(rec.Key, rec.Data); err != nil {
+			return 0, err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return 0, err
+	}
+	return 0, fmt.Errorf("wire: visit stream truncated (no trailer)")
 }
 
 // WriteEvent emits one SSE frame: an optional event name, the JSON

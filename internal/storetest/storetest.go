@@ -25,8 +25,10 @@ import (
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/backendurl"
+	"repro/internal/faultstore"
 	"repro/internal/resultstore"
 	"repro/internal/serve"
 	"repro/internal/serve/wire"
@@ -35,13 +37,13 @@ import (
 
 // EnvFilter is the environment variable the CI backend matrix sets to
 // restrict the registry: a comma list of backend names ("fs", "mem",
-// "sqlite", "http"). Empty or unset runs all of them.
+// "sqlite", "fault", "http"). Empty or unset runs all of them.
 const EnvFilter = "RTR_BACKEND"
 
 // Backend is one registered store backend under test.
 type Backend struct {
 	// Name is the registry (and CI matrix) name: "fs", "mem",
-	// "sqlite", "http".
+	// "sqlite", "fault", "http".
 	Name string
 	// Open returns a fresh, empty store plus a reopen function that
 	// opens a second handle over the same data with fresh counters —
@@ -92,6 +94,22 @@ func registry() []Backend {
 					return s
 				}
 				return open(tb), open
+			},
+		},
+		{
+			// fault runs the suite through the fault-injection decorator
+			// (internal/faultstore) over mem, with seeded latency on every
+			// backend call — pinning that each store property holds under
+			// timing jitter. Latency only: the suite asserts exact counter
+			// values, so destructive modes (scripted errors, torn writes)
+			// live in the dedicated recovery tests instead.
+			Name: "fault",
+			Open: func(tb testing.TB) (*resultstore.Store, func(tb testing.TB) *resultstore.Store) {
+				plan := faultstore.NewPlan(1).WithLatency(500 * time.Microsecond)
+				b := faultstore.WrapStore(resultstore.NewMem(), plan)
+				return resultstore.FromBackend(b), func(testing.TB) *resultstore.Store {
+					return resultstore.FromBackend(b)
+				}
 			},
 		},
 		{
@@ -162,7 +180,7 @@ func Backends(tb testing.TB) []Backend {
 		}
 		b, ok := byName[name]
 		if !ok {
-			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite, http)", EnvFilter, filter, name)
+			tb.Fatalf("%s=%q: unknown backend %q (have fs, mem, sqlite, fault, http)", EnvFilter, filter, name)
 		}
 		out = append(out, b)
 	}

@@ -97,7 +97,7 @@ func TestCalibratedDispatchBeatsHeuristic(t *testing.T) {
 		heuristic[i] = estimatedCost(&scenarios[i])
 		calibrated[i] = heuristic[i]
 	}
-	cal := newCostCalibrator(store, scenarios, owned, keys)
+	cal := newCostCalibrator(store, scenarios, owned, keys, 0)
 	cal.apply(calibrated, nil)
 
 	invCal := inversions(calibrated, truth)

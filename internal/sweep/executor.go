@@ -2,6 +2,7 @@ package sweep
 
 import (
 	"fmt"
+	"math/rand"
 	"runtime"
 	"strconv"
 	"strings"
@@ -98,6 +99,34 @@ type Executor struct {
 	// as an escape hatch should the cost heuristic ever misjudge a
 	// workload badly.
 	SpecOrderDispatch bool
+	// MaxScenarioRetries is the per-scenario retry budget for live
+	// simulation errors: a failing scenario reruns up to this many extra
+	// times with jittered exponential backoff before its error fails the
+	// sweep, so one flaky scenario no longer burns a whole shard
+	// generation. 0 (the default) fails on the first error — the classic
+	// behavior. Store misses under RequireStored and store-wait verdicts
+	// are never retried: they are coverage facts, not flaky work. The
+	// attempt count (and, past the first attempt, the last retried error
+	// and retry time) is recorded in the store entry — see
+	// resultstore.Entry.Attempts.
+	MaxScenarioRetries int
+	// RetryBackoff is the base delay before the first retry, doubled per
+	// further attempt and jittered over [d/2, 3d/2) so pooled workers
+	// retrying a shared flaky dependency do not stampede in lockstep;
+	// values ≤ 0 mean 100ms.
+	RetryBackoff time.Duration
+	// ResumeSkip treats the first N owned positions as already collected
+	// (typically loaded from a Checkpoint): they are neither probed,
+	// dispatched, nor delivered to the collector. Only meaningful when
+	// the collector does not need the skipped results — the sharded
+	// populate path's Discard — so prefer CollectResumable, which pairs
+	// the skip with the checkpoint bookkeeping that makes it safe.
+	ResumeSkip int
+
+	// retrySleep overrides the retry backoff sleep; tests inject it to
+	// pin the budget and the backoff schedule without wall-clock waits.
+	// It returns false when the sweep was cancelled mid-sleep.
+	retrySleep func(d time.Duration, stop <-chan struct{}) bool
 
 	// observePending, when non-nil, receives the number of dispatched-
 	// but-uncollected scenarios after every dispatch and completion.
@@ -190,12 +219,25 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	if len(owned) == 0 {
 		return nil
 	}
+	// A checkpointed resume: the first skip owned positions were fully
+	// collected (and acknowledged by the store) in a previous attempt, so
+	// this run starts past them — no probe, no dispatch, no collect.
+	skip := e.ResumeSkip
+	if skip < 0 {
+		skip = 0
+	}
+	if skip > len(owned) {
+		skip = len(owned)
+	}
+	if skip == len(owned) {
+		return nil
+	}
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > len(owned) {
-		workers = len(owned)
+	if workers > len(owned)-skip {
+		workers = len(owned) - skip
 	}
 	window := reorderWindow(workers)
 
@@ -210,11 +252,11 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	costs := make([]float64, len(owned))
 	var calib *costCalibrator
 	if !e.SpecOrderDispatch {
-		for p, i := range owned {
-			costs[p] = estimatedCost(&scenarios[i])
+		for p := skip; p < len(owned); p++ {
+			costs[p] = estimatedCost(&scenarios[owned[p]])
 		}
 		if keys != nil {
-			calib = newCostCalibrator(e.Store, scenarios, owned, keys)
+			calib = newCostCalibrator(e.Store, scenarios, owned, keys, skip)
 			calib.apply(costs, nil)
 		}
 	}
@@ -249,11 +291,14 @@ func (e Executor) Collect(spec Spec, c Collector) error {
 	// collection. Invariant: every dispatched-but-uncollected position
 	// lies in [collected, collected+window), so pending + in flight never
 	// exceeds the reorder window.
+	dispatched := make([]bool, len(owned))
+	for p := 0; p < skip; p++ {
+		dispatched[p] = true
+	}
 	var (
-		dispatched  = make([]bool, len(owned))
-		nDispatched int
+		nDispatched = skip
 		inFlight    int
-		collected   int
+		collected   = skip
 		pending     = make(map[int]*Result, window)
 		cancelled   bool
 		firstPos    = -1 // lowest owned position that failed
@@ -399,9 +444,12 @@ type costCalibrator struct {
 	measured  []float64 // per owned position: stored wall time (ns), 0 if none
 }
 
-// newCostCalibrator probes the store for every owned scenario and seeds
-// the model. keys index the full grid; owned positions map into it.
-func newCostCalibrator(store *resultstore.Store, scenarios []Scenario, owned []int, keys []string) *costCalibrator {
+// newCostCalibrator probes the store for every owned scenario past the
+// resume skip and seeds the model. keys index the full grid; owned
+// positions map into it. Skipped positions stay unprobed — they were
+// collected by a previous attempt and will never be dispatched, so a
+// hint read per skipped scenario would be pure backend traffic.
+func newCostCalibrator(store *resultstore.Store, scenarios []Scenario, owned []int, keys []string, skip int) *costCalibrator {
 	cal := &costCalibrator{
 		model:     costmodel.New(),
 		family:    make([]string, len(owned)),
@@ -409,7 +457,8 @@ func newCostCalibrator(store *resultstore.Store, scenarios []Scenario, owned []i
 		heuristic: make([]float64, len(owned)),
 		measured:  make([]float64, len(owned)),
 	}
-	for p, i := range owned {
+	for p := skip; p < len(owned); p++ {
+		i := owned[p]
 		sc := &scenarios[i]
 		cal.family[p] = costFamily(sc)
 		cal.load[p] = scenarioLoad(sc)
@@ -522,6 +571,7 @@ func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, runner *m
 		}
 		if ent, ok := e.Store.Get(key); ok {
 			if res := resultFromEntry(sp, sc, ent); res != nil {
+				res.stored = true
 				return res, nil
 			}
 		}
@@ -529,7 +579,7 @@ func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, runner *m
 			return nil, fmt.Errorf("not in result store %s (did every shard run?)", e.Store.Dir())
 		}
 	}
-	res, err := runScenario(sp, sc, ideals, runner)
+	res, retry, err := e.runRetried(sp, sc, ideals, runner, stop)
 	if err != nil || key == "" {
 		return res, err
 	}
@@ -545,15 +595,95 @@ func (e Executor) runStored(sp *Spec, sc Scenario, ideals *idealCache, runner *m
 	ent := &resultstore.Entry{
 		Scenario:  sc.Name(),
 		ElapsedNS: int64(res.Elapsed),
+		Attempts:  retry.attempts,
 		Run:       resultstore.RecordRun(res.Run),
 		Ideal:     resultstore.RecordRun(res.Ideal),
 		Summary:   res.Summary,
 	}
+	if retry.attempts > 1 {
+		ent.LastError = retry.lastErr.Error()
+		ent.RetriedAtNS = retry.retriedAt.UnixNano()
+	}
 	// A failed write (full disk, read-only store) must not lose the
 	// computed sweep: the store degrades to re-simulation next run and
-	// reports the failure in its summary line.
-	_ = e.Store.Put(key, ent)
+	// reports the failure in its summary line — but an unacknowledged
+	// result must not advance a checkpoint either (see Checkpointer), so
+	// only a successful Put marks the result stored.
+	if e.Store.Put(key, ent) == nil {
+		res.stored = true
+	}
 	return res, nil
+}
+
+// retryInfo is the attempt bookkeeping runRetried hands back for the
+// store entry: how many executions the result took, and — past the
+// first — the last retried failure and when the winning attempt began.
+type retryInfo struct {
+	attempts  int
+	lastErr   error
+	retriedAt time.Time
+}
+
+// maxRetryBackoff caps the exponential retry delay; past it only the
+// jitter varies.
+const maxRetryBackoff = 30 * time.Second
+
+// runRetried executes one scenario live, retrying failures within the
+// MaxScenarioRetries budget with jittered exponential backoff. On
+// exhaustion the final error is wrapped with the attempt count (only
+// when retries were actually configured, so the zero-budget path reads
+// exactly as before).
+func (e Executor) runRetried(sp *Spec, sc Scenario, ideals *idealCache, runner *manager.Runner, stop <-chan struct{}) (*Result, retryInfo, error) {
+	info := retryInfo{attempts: 1}
+	for {
+		res, err := runScenario(sp, sc, ideals, runner)
+		if err == nil {
+			return res, info, nil
+		}
+		if info.attempts > e.MaxScenarioRetries {
+			if e.MaxScenarioRetries > 0 {
+				err = fmt.Errorf("after %d attempts: %w", info.attempts, err)
+			}
+			return nil, info, err
+		}
+		info.lastErr = err
+		if !e.sleepBackoff(retryBackoff(e.RetryBackoff, info.attempts), stop) {
+			return nil, info, fmt.Errorf("sweep cancelled while backing off from: %w", err)
+		}
+		info.attempts++
+		info.retriedAt = time.Now()
+	}
+}
+
+// retryBackoff is the delay before the retry following failed attempt
+// number `attempt` (1-based): the base doubled per prior failure, capped
+// at maxRetryBackoff, then jittered uniformly over [d/2, 3d/2).
+func retryBackoff(base time.Duration, attempt int) time.Duration {
+	if base <= 0 {
+		base = 100 * time.Millisecond
+	}
+	d := base
+	for i := 1; i < attempt && d < maxRetryBackoff; i++ {
+		d *= 2
+	}
+	if d > maxRetryBackoff {
+		d = maxRetryBackoff
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d)))
+}
+
+// sleepBackoff waits out one retry delay, aborting (false) if the sweep
+// is cancelled meanwhile.
+func (e Executor) sleepBackoff(d time.Duration, stop <-chan struct{}) bool {
+	if e.retrySleep != nil {
+		return e.retrySleep(d, stop)
+	}
+	select {
+	case <-stop:
+		return false
+	case <-time.After(d):
+		return true
+	}
 }
 
 // StoreWait configures the watch-mode serve of a RequireStored sweep:
@@ -586,6 +716,7 @@ func (e Executor) awaitStored(sp *Spec, sc Scenario, key string, stop <-chan str
 	}
 	serve := func(ent *resultstore.Entry) (*Result, error) {
 		if res := resultFromEntry(sp, sc, ent); res != nil {
+			res.stored = true
 			return res, nil
 		}
 		return nil, fmt.Errorf("entry in result store %s lacks a part this sweep needs (damaged store?)", e.Store.Dir())

@@ -1,0 +1,166 @@
+package sweep
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/policy"
+	"repro/internal/resultstore"
+)
+
+// flakySpec is a single-scenario cacheable spec whose policy fails the
+// first `fails` constructions and succeeds afterwards — the canonical
+// "transient infrastructure error" a retry budget exists for.
+func flakySpec(t testing.TB, fails int) Spec {
+	t.Helper()
+	spec := fig9Spec(t, 4)
+	calls := 0
+	spec.Policies = []PolicySpec{{
+		Name: "flaky", Key: "flaky",
+		New: func() (policy.Policy, error) {
+			calls++
+			if calls <= fails {
+				return nil, fmt.Errorf("boom %d", calls)
+			}
+			return policy.NewLRU(), nil
+		},
+	}}
+	return spec
+}
+
+// TestRetryRecordsAttempts is the tentpole acceptance pin: a scenario
+// scripted to fail twice and then succeed completes the sweep within a
+// budget of 3, and the store entry records attempts=3 plus the last
+// retried error. The backoff schedule is captured through the test
+// sleep seam — two sleeps, each jittered over [d/2, 3d/2) of the
+// doubled 100ms default base.
+func TestRetryRecordsAttempts(t *testing.T) {
+	spec := flakySpec(t, 2)
+	store := resultstore.OpenMem()
+	var delays []time.Duration
+	ex := Executor{Workers: 1, Store: store, MaxScenarioRetries: 3}
+	ex.retrySleep = func(d time.Duration, stop <-chan struct{}) bool {
+		delays = append(delays, d)
+		return true
+	}
+	if err := ex.Collect(spec, Discard); err != nil {
+		t.Fatal(err)
+	}
+
+	keys, err := spec.ScenarioKeys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ent, ok := store.Get(keys[0])
+	if !ok {
+		t.Fatal("retried scenario missing from store")
+	}
+	if ent.Attempts != 3 {
+		t.Fatalf("entry attempts = %d, want 3", ent.Attempts)
+	}
+	if want := "boom 2"; ent.LastError != want {
+		t.Fatalf("entry last_error = %q, want %q", ent.LastError, want)
+	}
+	if ent.RetriedAtNS == 0 {
+		t.Fatal("entry retried_at_ns unset on a retried scenario")
+	}
+
+	if len(delays) != 2 {
+		t.Fatalf("slept %d times, want 2 (one per retry)", len(delays))
+	}
+	for i, base := range []time.Duration{100 * time.Millisecond, 200 * time.Millisecond} {
+		if delays[i] < base/2 || delays[i] >= base*3/2 {
+			t.Errorf("retry %d slept %v, want jitter in [%v, %v)", i+1, delays[i], base/2, base*3/2)
+		}
+	}
+}
+
+// TestRetryCleanEntryAttempts reports attempts=1 and no error metadata
+// for scenarios that never needed a retry, budget or not.
+func TestRetryCleanEntryAttempts(t *testing.T) {
+	spec := flakySpec(t, 0)
+	store := resultstore.OpenMem()
+	ex := Executor{Workers: 1, Store: store, MaxScenarioRetries: 3}
+	if err := ex.Collect(spec, Discard); err != nil {
+		t.Fatal(err)
+	}
+	keys, _ := spec.ScenarioKeys()
+	ent, ok := store.Get(keys[0])
+	if !ok {
+		t.Fatal("scenario missing from store")
+	}
+	if ent.Attempts != 1 || ent.LastError != "" || ent.RetriedAtNS != 0 {
+		t.Fatalf("clean entry has retry metadata: attempts=%d last_error=%q retried_at_ns=%d",
+			ent.Attempts, ent.LastError, ent.RetriedAtNS)
+	}
+}
+
+// TestRetryExhaustion: a budget of 2 yields 3 attempts, then the final
+// error wrapped with the attempt count; a zero budget fails on the
+// first error with the classic unwrapped message.
+func TestRetryExhaustion(t *testing.T) {
+	spec := flakySpec(t, 1_000_000)
+	ex := Executor{Workers: 1, MaxScenarioRetries: 2}
+	ex.retrySleep = func(time.Duration, <-chan struct{}) bool { return true }
+	err := ex.Collect(spec, Discard)
+	if err == nil {
+		t.Fatal("exhausted retry budget did not fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "after 3 attempts:") || !strings.Contains(err.Error(), "boom 3") {
+		t.Fatalf("exhaustion error = %q, want attempt-count wrap of the final failure", err)
+	}
+
+	ex0 := Executor{Workers: 1}
+	err = ex0.Collect(flakySpec(t, 1_000_000), Discard)
+	if err == nil {
+		t.Fatal("zero-budget sweep with failing scenario succeeded")
+	}
+	if strings.Contains(err.Error(), "attempts") {
+		t.Fatalf("zero-budget error %q mentions attempts; the classic message must be unchanged", err)
+	}
+}
+
+// TestRetryCancelledDuringBackoff: a sweep cancelled while a scenario
+// waits out its backoff aborts the wait and surfaces both facts.
+func TestRetryCancelledDuringBackoff(t *testing.T) {
+	spec := flakySpec(t, 1_000_000)
+	ex := Executor{Workers: 1, MaxScenarioRetries: 5}
+	ex.retrySleep = func(time.Duration, <-chan struct{}) bool { return false }
+	err := ex.Collect(spec, Discard)
+	if err == nil {
+		t.Fatal("cancelled backoff did not fail the sweep")
+	}
+	if !strings.Contains(err.Error(), "cancelled while backing off from:") ||
+		!strings.Contains(err.Error(), "boom 1") {
+		t.Fatalf("cancellation error = %q, want the backoff abort wrapping the scenario failure", err)
+	}
+}
+
+// TestRetryBackoffSchedule pins the delay function itself: doubling
+// from the base per prior failure, the 30s cap, and the jitter window.
+func TestRetryBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		base    time.Duration
+		attempt int
+		want    time.Duration
+	}{
+		{0, 1, 100 * time.Millisecond}, // default base
+		{0, 2, 200 * time.Millisecond},
+		{0, 3, 400 * time.Millisecond},
+		{time.Second, 1, time.Second},
+		{time.Second, 4, 8 * time.Second},
+		{time.Minute, 1, maxRetryBackoff}, // base above the cap
+		{time.Second, 30, maxRetryBackoff},
+	}
+	for _, c := range cases {
+		for i := 0; i < 32; i++ { // jitter is random; sample the window
+			d := retryBackoff(c.base, c.attempt)
+			if d < c.want/2 || d >= c.want*3/2 {
+				t.Fatalf("retryBackoff(%v, %d) = %v, want jitter in [%v, %v)",
+					c.base, c.attempt, d, c.want/2, c.want*3/2)
+			}
+		}
+	}
+}

@@ -343,6 +343,13 @@ type Result struct {
 	// Summary carries the paper's metrics; nil when Spec.NoBaseline is
 	// set.
 	Summary *metrics.Summary
+
+	// stored records that the result store acknowledged this result — a
+	// store serve, or a live run whose write-back Put succeeded. The
+	// Checkpointer advances its resume position only over stored results:
+	// a checkpoint may never skip past a scenario the store cannot serve
+	// to the next attempt.
+	stored bool
 }
 
 // ResultSet is a completed sweep: results in spec order plus axis-indexed
